@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Ablation: the hardware mitigation baselines the paper's software
+ * scheduler is positioned against, plus the split-vs-connected supply
+ * comparison of footnote 3.
+ *
+ *  - Signature-based emergency prediction (Reddi et al., HPCA'09 [29])
+ *  - Resonance-aware throttling (Powell & Vijaykumar [17][18])
+ *  - Split per-core rails vs one connected rail (James et al. [1])
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "common/table.hh"
+#include "cpu/fast_core.hh"
+#include "sim/system.hh"
+#include "workload/microbench.hh"
+#include "workload/spec_suite.hh"
+
+using namespace vsmooth;
+
+namespace {
+
+struct Outcome
+{
+    std::uint64_t emergencies;
+    double ipc;
+    double throttledPct;
+};
+
+Outcome
+run(bool predictor, bool damper, bool split)
+{
+    sim::SystemConfig cfg;
+    cfg.emergencyMargin = 0.04;
+    cfg.recoveryCostCycles = 600;
+    cfg.enableEmergencyPredictor = predictor;
+    cfg.enableResonanceDamper = damper;
+    cfg.damperParams.triggerAmplitude = 0.022;
+    cfg.throttleFactor = 0.75;
+    cfg.splitSupplies = split;
+    sim::System sys(cfg);
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(workload::specByName("sphinx"), 800'000,
+                              true),
+        3));
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(workload::specByName("mcf"), 800'000, true),
+        4));
+    sys.run(800'000);
+
+    Outcome o;
+    o.emergencies = sys.emergencies();
+    o.ipc = sys.core(0).counters().ipc() + sys.core(1).counters().ipc();
+    std::uint64_t throttled = 0;
+    if (sys.predictor())
+        throttled += sys.predictor()->throttledCycles();
+    if (sys.damper())
+        throttled += sys.damper()->throttledCycles();
+    o.throttledPct =
+        100.0 * static_cast<double>(throttled) /
+        static_cast<double>(sys.cycles());
+    return o;
+}
+
+} // namespace
+
+int
+main()
+{
+    TextTable t("Mitigation baselines (sphinx+mcf, 4% margin, "
+                "600-cycle recovery)");
+    t.setHeader({"configuration", "emergencies", "combined IPC",
+                 "throttled (%)"});
+    const struct
+    {
+        const char *name;
+        bool predictor, damper, split;
+    } configs[] = {
+        {"connected rail, no mitigation", false, false, false},
+        {"+ signature predictor [29]", true, false, false},
+        {"+ resonance damper [17,18]", false, true, false},
+        {"+ both", true, true, false},
+        {"split per-core rails [1]", false, false, true},
+    };
+    for (const auto &c : configs) {
+        const auto o = run(c.predictor, c.damper, c.split);
+        t.addRow({c.name, TextTable::num(o.emergencies),
+                  TextTable::num(o.ipc, 2),
+                  TextTable::num(o.throttledPct, 1)});
+    }
+    t.print(std::cout);
+    std::cout << "\nExpected: both mitigations cut emergencies at a"
+                 " small throughput cost; split rails make noise"
+                 " worse (the paper's footnote 3), which is why the"
+                 " shared-rail + software-scheduling route wins.\n";
+    return 0;
+}

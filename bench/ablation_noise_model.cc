@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Ablations of the noise model's design choices (DESIGN.md Sec 6):
+ *
+ *  1. Current-edge smoothing (pipeline drain time constant): without
+ *     it, high-frequency resonances are over-excited and future-node
+ *     tails are unrealistically fat.
+ *  2. Droop-detector hysteresis (release factor): event segmentation
+ *     — and hence emergency counts — depend on re-arm behaviour.
+ *  3. Memory-level parallelism (l2StallScale): stretching L2 stalls
+ *     back to full memory latency collapses the event rate and breaks
+ *     the droop/stall-ratio coupling.
+ *  4. Detailed vs fast core model on the same microbenchmark.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "common/table.hh"
+#include "cpu/detailed_core.hh"
+#include "cpu/fast_core.hh"
+#include "noise/droop_detector.hh"
+#include "sim/system.hh"
+#include "workload/microbench.hh"
+#include "workload/spec_suite.hh"
+
+using namespace vsmooth;
+
+namespace {
+
+struct Probe
+{
+    double droopsPer1k;
+    double maxDroopPct;
+    double stallRatio;
+};
+
+Probe
+runSphinx(double smoothingTau, double l2Scale)
+{
+    sim::SystemConfig cfg;
+    cfg.coreCurrent.smoothingTauCycles = smoothingTau;
+    sim::System sys(cfg);
+    auto schedule = workload::scheduleFor(workload::specByName("sphinx"),
+                                          800'000, true);
+    for (auto &phase : schedule.phases)
+        phase.l2StallScale = l2Scale;
+    sys.addCore(std::make_unique<cpu::FastCore>(schedule, 11));
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::idleSchedule(1000), 43));
+    sys.run(800'000);
+    return {1000.0 * sys.scope().fractionBelow(-sim::kIdleMargin),
+            sys.scope().maxDroop() * 100,
+            sys.core(0).counters().stallRatio()};
+}
+
+} // namespace
+
+int
+main()
+{
+    {
+        TextTable t("Ablation 1: current-edge smoothing tau (cycles)");
+        t.setHeader({"tau", "droops/1K", "max droop (%)"});
+        for (double tau : {0.0, 1.0, 2.0, 3.0, 5.0}) {
+            const auto p = runSphinx(tau, 1.0);
+            t.addRow({TextTable::num(tau, 1),
+                      TextTable::num(p.droopsPer1k, 1),
+                      TextTable::num(p.maxDroopPct, 2)});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    {
+        TextTable t("Ablation 2: droop-detector release factor");
+        t.setHeader({"release", "emergency events @2.3% (per 1M)"});
+        // One fixed voltage trace, re-segmented by different
+        // hysteresis settings.
+        sim::SystemConfig cfg;
+        sim::System sys(cfg);
+        sys.addCore(std::make_unique<cpu::FastCore>(
+            workload::scheduleFor(workload::specByName("sphinx"),
+                                  1'000'000, true),
+            11));
+        sys.addCore(std::make_unique<cpu::FastCore>(
+            workload::idleSchedule(1000), 43));
+        std::vector<double> releases = {0.1, 0.3, 0.5, 0.75, 0.9};
+        std::vector<noise::DroopDetector> detectors;
+        for (double r : releases)
+            detectors.emplace_back(sim::kIdleMargin, r);
+        for (int i = 0; i < 1'000'000; ++i) {
+            sys.tick();
+            for (auto &d : detectors)
+                d.feed(sys.deviation());
+        }
+        for (std::size_t k = 0; k < releases.size(); ++k) {
+            t.addRow({TextTable::num(releases[k], 2),
+                      TextTable::num(detectors[k].eventCount())});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    {
+        TextTable t("Ablation 3: memory-level parallelism (L2 stall "
+                    "scale)");
+        t.setHeader({"l2StallScale", "droops/1K", "stall ratio"});
+        for (double s : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+            const auto p = runSphinx(2.0, s);
+            t.addRow({TextTable::num(s, 2),
+                      TextTable::num(p.droopsPer1k, 1),
+                      TextTable::num(p.stallRatio, 2)});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    {
+        TextTable t("Ablation 4: detailed vs fast core (microbenchmarks)");
+        t.setHeader({"microbenchmark", "model", "p2p (%)", "stall ratio"});
+        for (auto kind : workload::kEventMicrobenchmarks) {
+            for (bool detailed : {true, false}) {
+                sim::SystemConfig cfg;
+                sim::System sys(cfg);
+                std::unique_ptr<cpu::InstructionSource> stream;
+                if (detailed) {
+                    stream = workload::makeMicrobenchmark(kind, 7);
+                    sys.addCore(std::make_unique<cpu::DetailedCore>(
+                        cpu::DetailedCoreParams{}, *stream));
+                } else {
+                    sys.addCore(std::make_unique<cpu::FastCore>(
+                        workload::microbenchmarkSchedule(kind, 1000),
+                        7));
+                }
+                sys.addCore(std::make_unique<cpu::FastCore>(
+                    workload::idleSchedule(1000), 43));
+                sys.run(1'000'000);
+                t.addRow(
+                    {std::string(workload::microbenchName(kind)),
+                     detailed ? "detailed" : "fast",
+                     TextTable::num(
+                         sys.scope().visualPeakToPeak() * 100, 2),
+                     TextTable::num(
+                         sys.core(0).counters().stallRatio(), 2)});
+            }
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,105 @@
+#include "bench_util.hh"
+
+namespace vsmooth::bench {
+
+namespace {
+
+RunResult
+finish(sim::System &sys)
+{
+    RunResult r;
+    r.scope = sys.scope();
+    r.emergencies =
+        resilience::profileFromBank(sys.droopBank(), sys.cycles());
+    r.stallRatio = sys.core(0).counters().stallRatio();
+    r.ipc = sys.core(0).counters().ipc();
+    if (sys.numCores() > 1)
+        r.ipc += sys.core(1).counters().ipc();
+    r.cycles = sys.cycles();
+    return r;
+}
+
+sim::System
+makeSystem(double decapFraction)
+{
+    sim::SystemConfig cfg;
+    cfg.package =
+        pdn::PackageConfig::core2duo().withDecapFraction(decapFraction);
+    cfg.osTickInterval = sim::kCompressedOsTick;
+    return sim::System(cfg);
+}
+
+} // namespace
+
+RunResult
+runSingle(const workload::SpecBenchmark &bench, Cycles cycles,
+          double decapFraction, std::uint64_t seed)
+{
+    sim::System sys = makeSystem(decapFraction);
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(bench, cycles, true), seed + 1));
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::idleSchedule(1000), seed + 2));
+    sys.run(cycles);
+    return finish(sys);
+}
+
+RunResult
+runPair(const workload::SpecBenchmark &a, const workload::SpecBenchmark &b,
+        Cycles cycles, double decapFraction, std::uint64_t seed)
+{
+    sim::System sys = makeSystem(decapFraction);
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(a, cycles, true), seed + 1));
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(b, cycles, true), seed + 2));
+    sys.run(cycles);
+    return finish(sys);
+}
+
+RunResult
+runParsec(const workload::ParsecBenchmark &bench, Cycles cycles,
+          double decapFraction, std::uint64_t seed)
+{
+    sim::System sys = makeSystem(decapFraction);
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::parsecThreadSchedule(bench, 0, cycles), seed + 1));
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::parsecThreadSchedule(bench, 1, cycles), seed + 2));
+    sys.runUntilFinished(cycles);
+    // PARSEC schedules are finite; pad to the nominal length so run
+    // weights stay comparable.
+    if (sys.cycles() < cycles)
+        sys.run(cycles - sys.cycles());
+    return finish(sys);
+}
+
+Population
+runPopulation(Cycles cyclesPerRun, double decapFraction,
+              std::uint64_t seed)
+{
+    Population pop;
+    const auto &suite = workload::specCpu2006();
+
+    auto absorb = [&](const RunResult &r) {
+        pop.scope.merge(r.scope);
+        pop.emergencies.merge(r.emergencies);
+        pop.tailFractions.push_back(r.scope.fractionBelow(-0.04));
+        ++pop.runs;
+    };
+
+    std::uint64_t s = seed;
+    for (const auto &b : suite)
+        absorb(runSingle(b, cyclesPerRun, decapFraction, s += 17));
+    for (const auto &b : workload::parsecSuite())
+        absorb(runParsec(b, cyclesPerRun, decapFraction, s += 17));
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        for (std::size_t j = i; j < suite.size(); ++j) {
+            absorb(runPair(suite[i], suite[j], cyclesPerRun,
+                           decapFraction, s += 17));
+        }
+    }
+    return pop;
+}
+
+} // namespace vsmooth::bench

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench binary prints the paper's rows or series through
+ * TextTable so the reproduction output is uniform; this header holds
+ * the run plumbing they share (single runs, pair runs, population
+ * aggregation over the 29 + 11 + pairs workload set).
+ */
+
+#ifndef VSMOOTH_BENCH_BENCH_UTIL_HH
+#define VSMOOTH_BENCH_BENCH_UTIL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/fast_core.hh"
+#include "noise/scope.hh"
+#include "resilience/perf_model.hh"
+#include "sim/system.hh"
+#include "workload/microbench.hh"
+#include "workload/parsec.hh"
+#include "workload/spec_suite.hh"
+
+namespace vsmooth::bench {
+
+/** Outcome of one measured run. */
+struct RunResult
+{
+    noise::Scope scope;
+    resilience::EmergencyProfile emergencies;
+    double stallRatio = 0.0;
+    double ipc = 0.0;
+    Cycles cycles = 0;
+
+    /** Droops (samples below margin) per 1K cycles. */
+    double
+    droopsPer1k(double margin = sim::kIdleMargin) const
+    {
+        return 1000.0 * scope.fractionBelow(-margin);
+    }
+};
+
+/** Run one benchmark with the second core idle. */
+RunResult runSingle(const workload::SpecBenchmark &bench, Cycles cycles,
+                    double decapFraction = 1.0, std::uint64_t seed = 1);
+
+/** Run a benchmark pair (multi-program). */
+RunResult runPair(const workload::SpecBenchmark &a,
+                  const workload::SpecBenchmark &b, Cycles cycles,
+                  double decapFraction = 1.0, std::uint64_t seed = 1);
+
+/** Run one PARSEC program with two threads. */
+RunResult runParsec(const workload::ParsecBenchmark &bench, Cycles cycles,
+                    double decapFraction = 1.0, std::uint64_t seed = 1);
+
+/**
+ * Aggregate population statistics over the paper's 881-run set
+ * (29 single-threaded + 11 multi-threaded + 29x29 multi-program),
+ * sub-sampled: all singles, all PARSEC, and every pair combination
+ * (unordered, which is statistically equivalent to the full ordered
+ * sweep on symmetric cores).
+ */
+struct Population
+{
+    noise::Scope scope;
+    resilience::EmergencyProfile emergencies;
+    /** Per-run fraction of samples below -4 % (typical-case tail). */
+    std::vector<double> tailFractions;
+    std::size_t runs = 0;
+};
+
+Population runPopulation(Cycles cyclesPerRun, double decapFraction,
+                         std::uint64_t seed = 1);
+
+} // namespace vsmooth::bench
+
+#endif // VSMOOTH_BENCH_BENCH_UTIL_HH

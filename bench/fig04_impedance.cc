@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig 4: power-delivery impedance profile seen from the die, default
+ * versus reduced package decap.
+ *
+ * The paper validated its sensing rig by reconstructing this profile
+ * and matching Intel's published data: a resonance peak in the
+ * 100-200 MHz band, and substantially higher impedance with package
+ * capacitors removed. We reproduce it with an AC analysis of the PDN
+ * ladder netlist.
+ */
+
+#include <iostream>
+
+#include "circuit/ac.hh"
+#include "common/table.hh"
+#include "pdn/ladder.hh"
+
+using namespace vsmooth;
+
+int
+main()
+{
+    const std::vector<std::pair<const char *, double>> configs = {
+        {"default #caps (Proc100)", 1.0},
+        {"reduced #caps (Proc25)", 0.25},
+        {"reduced #caps (Proc3)", 0.03},
+    };
+
+    TextTable table("Fig 4: impedance vs frequency (mOhm)");
+    table.setHeader({"freq (MHz)", "Proc100", "Proc25", "Proc3"});
+
+    std::vector<std::vector<circuit::ImpedancePoint>> sweeps;
+    for (const auto &[name, frac] : configs) {
+        auto cfg = pdn::PackageConfig::core2duo().withDecapFraction(frac);
+        auto net = pdn::buildLadder(cfg, 1);
+        sweeps.push_back(circuit::impedanceSweep(
+            net.net, net.dieNode, Hertz(1e6), Hertz(500e6), 28));
+    }
+
+    for (std::size_t i = 0; i < sweeps[0].size(); ++i) {
+        table.addRow({TextTable::num(sweeps[0][i].frequencyHz / 1e6, 2),
+                      TextTable::num(sweeps[0][i].magnitude() * 1e3, 3),
+                      TextTable::num(sweeps[1][i].magnitude() * 1e3, 3),
+                      TextTable::num(sweeps[2][i].magnitude() * 1e3, 3)});
+    }
+    table.print(std::cout);
+
+    for (std::size_t k = 0; k < configs.size(); ++k) {
+        const auto peak = circuit::resonancePeak(sweeps[k]);
+        std::cout << configs[k].first << ": resonance peak "
+                  << TextTable::num(peak.magnitude() * 1e3, 2)
+                  << " mOhm at "
+                  << TextTable::num(peak.frequencyHz / 1e6, 0) << " MHz\n";
+    }
+    std::cout << "\nPaper: peak in the 100-200 MHz band; reduced decap"
+                 " raises impedance across the band (~5x).\n";
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig 7: cumulative distribution of voltage samples on the unmodified
+ * processor (Proc100) across the full workload population (the
+ * paper's 881 runs: single-threaded, multi-threaded, multi-program).
+ *
+ * Paper findings reproduced here: droops reach ~9.6 % (so the 14 %
+ * worst-case margin is justified), but the typical case is +/-4 %,
+ * with only ~0.06 % of samples beyond it.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/statistics.hh"
+#include "common/table.hh"
+
+using namespace vsmooth;
+
+int
+main()
+{
+    const auto pop = bench::runPopulation(150'000, 1.0);
+
+    TextTable table("Fig 7: voltage-sample CDF, Proc100 (population)");
+    table.setHeader({"deviation (%)", "fraction of samples below"});
+    for (double dev : {-8.0, -6.0, -5.0, -4.0, -3.0, -2.0, -1.0, 0.0,
+                       1.0, 2.0, 3.0, 4.0}) {
+        table.addRow({TextTable::num(dev, 1),
+                      TextTable::num(
+                          pop.scope.fractionBelow(dev / 100.0), 6)});
+    }
+    table.print(std::cout);
+
+    const double beyond =
+        pop.scope.fractionOutside(sim::kTypicalCaseBand);
+    std::cout << "\nRuns aggregated: " << pop.runs << "\n"
+              << "Max droop: "
+              << TextTable::num(pop.scope.maxDroop() * 100, 2)
+              << "% (paper: 9.6%)\n"
+              << "Max overshoot: "
+              << TextTable::num(pop.scope.maxOvershoot() * 100, 2)
+              << "%\n"
+              << "Samples beyond +/-4%: "
+              << TextTable::num(beyond * 100, 4)
+              << "% (paper: 0.06%)\n"
+              << "Worst-case margin of the part: 14% -> still needed"
+                 " for the rare deep droops, but far from typical.\n";
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fig 9: typical-case voltage-sample distributions on the future-node
+ * proxies Proc25 and Proc3.
+ *
+ * The paper's point: the distributions spread out as decap shrinks —
+ * 0.06 % of samples violate the -4 % typical-case band on Proc100,
+ * but ~0.2 % on Proc25 and ~2.2 % on Proc3, which is what erodes
+ * resilient-design gains in future nodes.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+using namespace vsmooth;
+
+int
+main()
+{
+    TextTable table("Fig 9: sample distribution spread vs decap");
+    table.setHeader({"processor", "below -4% (%)", "below -2.3% (%)",
+                     "max droop (%)", "visual p2p (%)"});
+
+    for (double frac : {1.0, 0.25, 0.03}) {
+        const auto pop = bench::runPopulation(100'000, frac);
+        table.addRow(
+            {sim::procName(frac),
+             TextTable::num(pop.scope.fractionBelow(-0.04) * 100, 4),
+             TextTable::num(
+                 pop.scope.fractionBelow(-sim::kIdleMargin) * 100, 2),
+             TextTable::num(pop.scope.maxDroop() * 100, 2),
+             TextTable::num(pop.scope.visualPeakToPeak() * 100, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper: 0.06% (Proc100), 0.2% (Proc25), 2.2% (Proc3)"
+                 " of samples beyond the -4% typical-case margin;"
+                 " Proc3's distribution visibly wider.\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fig 11: recurring voltage overshoots caused by TLB misses, riding
+ * on the VRM switching ripple.
+ *
+ * The paper scopes the core voltage while the TLB microbenchmark
+ * loops: every page-walk stall drops the current draw, so voltage
+ * spikes above nominal at the event rate, embedded in the slower VRM
+ * waveform. We print a short excerpt of the simulated waveform plus
+ * the detected overshoot statistics.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "common/table.hh"
+#include "cpu/detailed_core.hh"
+#include "noise/droop_detector.hh"
+#include "sim/system.hh"
+#include "workload/microbench.hh"
+
+using namespace vsmooth;
+
+int
+main()
+{
+    sim::SystemConfig cfg;
+    sim::System sys(cfg);
+    auto stream =
+        workload::makeMicrobenchmark(workload::MicrobenchKind::TlbMiss, 7);
+    sys.addCore(std::make_unique<cpu::DetailedCore>(
+        cpu::DetailedCoreParams{}, *stream));
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::idleSchedule(1000), 43));
+
+    // Warm up past the cold-start transient.
+    sys.run(200'000);
+
+    // Excerpt: average deviation over 50-cycle buckets for ~2 VRM
+    // periods (compact ASCII rendering of the scope shot).
+    TextTable excerpt("Fig 11: voltage waveform excerpt (TLB loop)");
+    excerpt.setHeader({"t (cycles)", "mean dev (%)", ""});
+    for (int bucket = 0; bucket < 60; ++bucket) {
+        double sum = 0.0;
+        for (int i = 0; i < 64; ++i) {
+            sys.tick();
+            sum += sys.deviation();
+        }
+        const double mean = sum / 64.0 * 100.0;
+        const int bar = static_cast<int>((mean + 2.5) * 12.0);
+        excerpt.addRow({TextTable::num(bucket * 64),
+                        TextTable::num(mean, 2),
+                        std::string(std::max(bar, 0), '#')});
+    }
+    excerpt.print(std::cout);
+
+    // Overshoot event statistics over a long window: mirror-detect
+    // spikes above +1.2 %.
+    noise::DroopDetector overshoot(0.012);
+    std::uint64_t cycles = 1'000'000;
+    for (std::uint64_t i = 0; i < cycles; ++i) {
+        sys.tick();
+        overshoot.feed(-sys.deviation()); // mirrored: spikes up
+    }
+    const auto &ctr = sys.core(0).counters();
+    std::cout << "\nTLB miss events/1K cycles: "
+              << TextTable::num(
+                     1000.0 *
+                         static_cast<double>(ctr.eventCount(
+                             cpu::StallCause::TlbMiss)) /
+                         static_cast<double>(ctr.cycles()),
+                     2)
+              << "\nOvershoot events/1K cycles (> +1.2%): "
+              << TextTable::num(1000.0 *
+                                    static_cast<double>(
+                                        overshoot.eventCount()) /
+                                    static_cast<double>(cycles),
+                                2)
+              << "\nPaper: recurring voltage spikes embedded in the"
+                 " VRM ripple, one per TLB stall burst.\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fig 19: how many co-schedules meet the typical-case design target
+ * ("pass") under IPC vs Droop scheduling, as a % increase over the
+ * SPECrate baseline, across recovery costs (Proc3).
+ *
+ * Paper points: both policies recover ~60 % more passing schedules at
+ * fine recovery costs; IPC's benefit decays with cost while Droop
+ * stays consistently ahead and wins clearly at coarse (1000+ cycle)
+ * recovery — the argument for noise-aware scheduling.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "sched/pass_analysis.hh"
+#include "sched/policy.hh"
+#include "sim/calibration.hh"
+
+using namespace vsmooth;
+
+int
+main()
+{
+    sched::OracleConfig cfg;
+    cfg.system.package =
+        pdn::PackageConfig::core2duo().withDecapFraction(0.03);
+    cfg.cyclesPerPair = 800'000;
+    cfg.droopMargin = sim::kProc3DroopMargin;
+    const sched::OracleMatrix matrix(workload::specCpu2006(), cfg);
+
+    // One job pool: two copies of every benchmark (29 pairs formed,
+    // comparable to the 29 SPECrate schedules).
+    std::vector<std::size_t> pool;
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+        pool.push_back(i);
+        pool.push_back(i);
+    }
+
+    const auto table_rows =
+        sched::optimalMarginTable(matrix, sim::recoveryCostSweep(),
+                                  /*tolerancePercent=*/1.0);
+
+    TextTable table("Fig 19: passing schedules vs SPECrate (Proc3)");
+    table.setHeader({"recovery cost", "SPECrate passes", "IPC passes",
+                     "Droop passes", "IPC +%", "Droop +%"});
+
+    Rng rng(7);
+    for (const auto &row : table_rows) {
+        const auto ipc_sched = sched::buildSchedule(
+            pool, matrix, sched::PolicyKind::Ipc, rng);
+        const auto droop_sched = sched::buildSchedule(
+            pool, matrix, sched::PolicyKind::Droop, rng);
+
+        const int ipc_pass = sched::countPassing(
+            ipc_sched, matrix, row.optimalMargin, row.recoveryCost,
+            row.expectedImprovementPercent, /*tolerancePercent=*/1.0);
+        const int droop_pass = sched::countPassing(
+            droop_sched, matrix, row.optimalMargin, row.recoveryCost,
+            row.expectedImprovementPercent, /*tolerancePercent=*/1.0);
+
+        auto pct = [&](int passes) {
+            if (row.passingSpecRate == 0)
+                return std::string(passes > 0 ? "inf" : "0");
+            return TextTable::num(
+                100.0 * (static_cast<double>(passes) /
+                             static_cast<double>(row.passingSpecRate) -
+                         1.0),
+                0);
+        };
+        table.addRow({TextTable::num(row.recoveryCost),
+                      TextTable::num(row.passingSpecRate),
+                      TextTable::num(ipc_pass),
+                      TextTable::num(droop_pass), pct(ipc_pass),
+                      pct(droop_pass)});
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper: ~60% increase for both at 10-cycle recovery;"
+                 " IPC's benefit decays with cost; Droop consistently"
+                 " outperforms IPC and wins at 1000+ cycles.\n";
+    return 0;
+}

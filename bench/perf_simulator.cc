@@ -1,0 +1,112 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: PDN
+ * integration step, core models, full system tick, and the MNA
+ * solver. These guard the throughput that makes the 29x29 suite
+ * sweeps tractable.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "circuit/transient.hh"
+#include "cpu/detailed_core.hh"
+#include "cpu/fast_core.hh"
+#include "circuit/ac.hh"
+#include "pdn/ladder.hh"
+#include "pdn/second_order.hh"
+#include "sim/system.hh"
+#include "workload/microbench.hh"
+#include "workload/spec_suite.hh"
+
+using namespace vsmooth;
+
+namespace {
+
+void
+BM_SecondOrderPdnStep(benchmark::State &state)
+{
+    pdn::SecondOrderPdn pdn(pdn::PackageConfig::core2duo(),
+                            sim::clockPeriod());
+    double load = 8.0;
+    for (auto _ : state) {
+        load = load == 8.0 ? 11.0 : 8.0;
+        benchmark::DoNotOptimize(pdn.step(load));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SecondOrderPdnStep);
+
+void
+BM_FastCoreTick(benchmark::State &state)
+{
+    cpu::FastCore core(
+        workload::scheduleFor(workload::specByName("sphinx"), 1'000'000,
+                              true),
+        42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core.tick());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FastCoreTick);
+
+void
+BM_DetailedCoreTick(benchmark::State &state)
+{
+    auto stream = workload::makeMicrobenchmark(
+        workload::MicrobenchKind::L1Miss, 7);
+    cpu::DetailedCore core(cpu::DetailedCoreParams{}, *stream);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core.tick());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DetailedCoreTick);
+
+void
+BM_SystemTickDualCore(benchmark::State &state)
+{
+    sim::SystemConfig cfg;
+    sim::System sys(cfg);
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(workload::specByName("sphinx"), 1'000'000,
+                              true),
+        1));
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(workload::specByName("mcf"), 1'000'000,
+                              true),
+        2));
+    for (auto _ : state)
+        sys.tick();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SystemTickDualCore);
+
+void
+BM_LadderTransientStep(benchmark::State &state)
+{
+    auto net = pdn::buildLadder(pdn::PackageConfig::core2duo(), 2);
+    circuit::TransientSolver solver(net.net, Seconds(0.1e-9));
+    for (auto _ : state)
+        solver.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LadderTransientStep);
+
+void
+BM_ImpedancePoint(benchmark::State &state)
+{
+    auto net = pdn::buildLadder(pdn::PackageConfig::core2duo(), 1);
+    double f = 1e6;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(circuit::drivingPointImpedance(
+            net.net, net.dieNode, Hertz(f)));
+        f = f < 5e8 ? f * 1.01 : 1e6;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ImpedancePoint);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Example: characterize a platform's voltage noise the way Sec II-III
+ * of the paper does — impedance profile, microbenchmark event swings,
+ * and the typical-case CDF — for any decap configuration.
+ *
+ *   $ ./characterize_noise [decap_fraction]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "circuit/ac.hh"
+#include "common/table.hh"
+#include "cpu/detailed_core.hh"
+#include "cpu/fast_core.hh"
+#include "pdn/droop_analysis.hh"
+#include "pdn/ladder.hh"
+#include "sim/system.hh"
+#include "workload/microbench.hh"
+#include "workload/spec_suite.hh"
+
+using namespace vsmooth;
+
+int
+main(int argc, char **argv)
+{
+    const double frac = argc > 1 ? std::atof(argv[1]) : 1.0;
+    const auto package =
+        pdn::PackageConfig::core2duo().withDecapFraction(frac);
+
+    std::cout << "Characterizing " << sim::procName(frac) << "\n\n";
+
+    // --- Impedance profile (the paper's validation step) -----------
+    {
+        auto net = pdn::buildLadder(package, 1);
+        const auto sweep = circuit::impedanceSweep(
+            net.net, net.dieNode, Hertz(1e6), Hertz(500e6), 10);
+        TextTable t("impedance profile");
+        t.setHeader({"freq (MHz)", "|Z| (mOhm)"});
+        for (const auto &pt : sweep)
+            t.addRow({TextTable::num(pt.frequencyHz / 1e6, 1),
+                      TextTable::num(pt.magnitude() * 1e3, 3)});
+        t.print(std::cout);
+        const auto peak = circuit::resonancePeak(sweep);
+        std::cout << "resonance: "
+                  << TextTable::num(peak.frequencyHz / 1e6, 0)
+                  << " MHz\n\n";
+    }
+
+    // --- Reset-stimulus droop ---------------------------------------
+    {
+        const auto wf = pdn::simulateReset(package);
+        std::cout << "reset droop: "
+                  << TextTable::num(wf.maxDroop() * 1e3, 0) << " mV ("
+                  << TextTable::num(
+                         100 * wf.maxDroop() /
+                             package.vddNominal.value(),
+                         1)
+                  << "% of Vdd)\n\n";
+    }
+
+    // --- Microbenchmark event swings --------------------------------
+    {
+        TextTable t("microarchitectural event swings");
+        t.setHeader({"event", "p2p (% of Vdd)"});
+        for (auto kind : workload::kEventMicrobenchmarks) {
+            sim::SystemConfig cfg;
+            cfg.package = package;
+            sim::System sys(cfg);
+            auto stream = workload::makeMicrobenchmark(kind, 7);
+            sys.addCore(std::make_unique<cpu::DetailedCore>(
+                cpu::DetailedCoreParams{}, *stream));
+            sys.addCore(std::make_unique<cpu::FastCore>(
+                workload::idleSchedule(1000), 43));
+            sys.run(800'000);
+            t.addRow({std::string(workload::microbenchName(kind)),
+                      TextTable::num(
+                          sys.scope().visualPeakToPeak() * 100, 2)});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // --- Workload CDF ------------------------------------------------
+    {
+        sim::SystemConfig cfg;
+        cfg.package = package;
+        sim::System sys(cfg);
+        sys.addCore(std::make_unique<cpu::FastCore>(
+            workload::scheduleFor(workload::specByName("sphinx"),
+                                  500'000, true),
+            1));
+        sys.addCore(std::make_unique<cpu::FastCore>(
+            workload::scheduleFor(workload::specByName("bwaves"),
+                                  500'000, true),
+            2));
+        sys.run(500'000);
+        TextTable t("sample distribution (sphinx + bwaves)");
+        t.setHeader({"below deviation", "fraction"});
+        for (double d : {-0.06, -0.04, -0.023, -0.01}) {
+            t.addRow({TextTable::num(d * 100, 1) + " %",
+                      TextTable::num(sys.scope().fractionBelow(d), 5)});
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Example: deploying noise-aware scheduling *online*, the way the
+ * paper's Sec IV-A motivates — no oracle pre-runs, only the stall
+ * ratio read from hardware performance counters while jobs run.
+ *
+ * A batch of mixed jobs drains through a two-core Proc3 (future-node)
+ * system with a coarse-grained fail-safe. FCFS dispatch is compared
+ * against StallBalance, which pairs noisy (high-stall) runners with
+ * smooth co-runners using only its own online estimates.
+ *
+ *   $ ./online_scheduling
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "sched/online_scheduler.hh"
+
+using namespace vsmooth;
+
+int
+main()
+{
+    // A realistic mixed batch: memory-bound, compute-bound, and
+    // mid-range jobs, two instances each (the second instance is
+    // where online learning pays off).
+    std::vector<const workload::SpecBenchmark *> batch;
+    const char *names[] = {"mcf", "hmmer", "lbm", "povray", "sphinx",
+                           "gamess", "milc", "h264ref"};
+    // Two passes over the job list (twins separated, so the second
+    // instance arrives after its stall ratio has been learned).
+    for (int pass = 0; pass < 2; ++pass)
+        for (const char *name : names)
+            batch.push_back(&workload::specByName(name));
+
+    sched::OnlineConfig cfg;
+    cfg.system.package =
+        pdn::PackageConfig::core2duo().withDecapFraction(0.03);
+    cfg.system.emergencyMargin = 0.07;
+    cfg.system.recoveryCostCycles = 10000; // coarse, cheap fail-safe
+    cfg.jobLength = 200'000;
+    cfg.schedulingInterval = 25'000;
+    // This short batch stands in for hours of execution: compress the
+    // OS tick accordingly (see DESIGN.md on time compression).
+    cfg.system.osTickInterval = sim::kCompressedOsTick;
+
+    TextTable t("online scheduling on Proc3 (7% margin, 10000-cycle "
+                "recovery)");
+    t.setHeader({"policy", "makespan (Kcycles)", "emergencies",
+                 "droops/1K"});
+    for (auto policy : {sched::OnlinePolicy::Fcfs,
+                        sched::OnlinePolicy::StallBalance}) {
+        const auto r = sched::runOnlineBatch(batch, cfg, policy);
+        t.addRow({sched::onlinePolicyName(policy),
+                  TextTable::num(r.makespan / 1000),
+                  TextTable::num(r.emergencies),
+                  TextTable::num(r.droopsPer1k, 1)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nStallBalance uses nothing but the stall-ratio"
+                 " counter the paper showed correlates with droops at"
+                 " r=0.97 — the counter-driven deployment the paper's"
+                 " oracle study argues is feasible.\n";
+    return 0;
+}

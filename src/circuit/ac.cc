@@ -1,0 +1,113 @@
+#include "ac.hh"
+
+#include <cmath>
+
+#include "circuit/dense_matrix.hh"
+#include "common/logging.hh"
+
+namespace vsmooth::circuit {
+
+std::complex<double>
+drivingPointImpedance(const Netlist &net, NodeId node, Hertz freq)
+{
+    using Complex = std::complex<double>;
+    if (node == kGround)
+        return 0.0;
+    const double omega = 2.0 * M_PI * freq.value();
+    if (omega <= 0.0)
+        fatal("drivingPointImpedance: frequency must be positive");
+
+    const std::size_t nv = net.numNodes() - 1;
+    const std::size_t n = nv + net.voltageSources().size();
+    DenseMatrix<Complex> A(n, n);
+    std::vector<Complex> rhs(n, Complex{});
+
+    auto vidx = [](NodeId k) { return static_cast<std::size_t>(k - 1); };
+    auto stampAdmittance = [&](NodeId a, NodeId b, Complex y) {
+        if (a != kGround) {
+            A(vidx(a), vidx(a)) += y;
+            if (b != kGround) {
+                A(vidx(a), vidx(b)) -= y;
+                A(vidx(b), vidx(a)) -= y;
+            }
+        }
+        if (b != kGround)
+            A(vidx(b), vidx(b)) += y;
+    };
+
+    const Complex jw{0.0, omega};
+    for (const auto &e : net.elements()) {
+        switch (e.kind) {
+          case ElementKind::Resistor:
+            stampAdmittance(e.a, e.b, Complex{1.0 / e.value, 0.0});
+            break;
+          case ElementKind::Capacitor:
+            stampAdmittance(e.a, e.b, jw * e.value);
+            break;
+          case ElementKind::Inductor:
+            stampAdmittance(e.a, e.b, 1.0 / (jw * e.value));
+            break;
+        }
+    }
+
+    // Independent voltage sources are AC shorts: keep the branch rows
+    // with zero source phasor. Current sources are opens: no stamp.
+    std::size_t branch = nv;
+    for (const auto &s : net.voltageSources()) {
+        if (s.pos != kGround) {
+            A(vidx(s.pos), branch) += 1.0;
+            A(branch, vidx(s.pos)) += 1.0;
+        }
+        if (s.neg != kGround) {
+            A(vidx(s.neg), branch) -= 1.0;
+            A(branch, vidx(s.neg)) -= 1.0;
+        }
+        rhs[branch] = 0.0;
+        ++branch;
+    }
+
+    // Inject 1 A into the probe node.
+    rhs[vidx(node)] = Complex{1.0, 0.0};
+
+    if (!A.luFactor())
+        fatal("AC MNA matrix singular at %g Hz", freq.value());
+    std::vector<Complex> x;
+    A.solve(rhs, x);
+    return x[vidx(node)];
+}
+
+std::vector<ImpedancePoint>
+impedanceSweep(const Netlist &net, NodeId node, Hertz fLo, Hertz fHi,
+               std::size_t points)
+{
+    if (points < 2)
+        fatal("impedanceSweep needs at least 2 points");
+    if (fLo.value() <= 0.0 || fHi.value() <= fLo.value())
+        fatal("impedanceSweep: need 0 < fLo < fHi");
+    std::vector<ImpedancePoint> sweep;
+    sweep.reserve(points);
+    const double log_lo = std::log10(fLo.value());
+    const double log_hi = std::log10(fHi.value());
+    for (std::size_t i = 0; i < points; ++i) {
+        const double frac =
+            static_cast<double>(i) / static_cast<double>(points - 1);
+        const double f = std::pow(10.0, log_lo + frac * (log_hi - log_lo));
+        sweep.push_back({f, drivingPointImpedance(net, node, Hertz(f))});
+    }
+    return sweep;
+}
+
+ImpedancePoint
+resonancePeak(const std::vector<ImpedancePoint> &sweep)
+{
+    if (sweep.empty())
+        fatal("resonancePeak: empty sweep");
+    const ImpedancePoint *best = &sweep.front();
+    for (const auto &p : sweep) {
+        if (p.magnitude() > best->magnitude())
+            best = &p;
+    }
+    return *best;
+}
+
+} // namespace vsmooth::circuit

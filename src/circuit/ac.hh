@@ -1,0 +1,55 @@
+/**
+ * @file
+ * AC (frequency-domain) analysis via complex MNA.
+ *
+ * The paper validated its measurement rig by reconstructing the
+ * platform's impedance profile (Fig 4); we reconstruct the same
+ * profile from the PDN netlist by injecting a 1 A small-signal current
+ * at the die node with all independent sources zeroed and reading the
+ * resulting node voltage, which equals the driving-point impedance.
+ */
+
+#ifndef VSMOOTH_CIRCUIT_AC_HH
+#define VSMOOTH_CIRCUIT_AC_HH
+
+#include <complex>
+#include <vector>
+
+#include "circuit/netlist.hh"
+#include "common/units.hh"
+
+namespace vsmooth::circuit {
+
+/**
+ * Driving-point impedance of the netlist seen from a node, at one
+ * frequency. Independent voltage sources become shorts and current
+ * sources opens (standard small-signal treatment).
+ */
+std::complex<double> drivingPointImpedance(const Netlist &net, NodeId node,
+                                           Hertz freq);
+
+/** One point of an impedance sweep. */
+struct ImpedancePoint
+{
+    double frequencyHz;
+    std::complex<double> impedance;
+    /** |Z| in ohms. */
+    double magnitude() const { return std::abs(impedance); }
+};
+
+/**
+ * Log-spaced impedance sweep from fLo to fHi (inclusive), points >= 2.
+ */
+std::vector<ImpedancePoint> impedanceSweep(const Netlist &net, NodeId node,
+                                           Hertz fLo, Hertz fHi,
+                                           std::size_t points);
+
+/**
+ * Locate the impedance peak (resonance) within a sweep; returns the
+ * point with the largest |Z|.
+ */
+ImpedancePoint resonancePeak(const std::vector<ImpedancePoint> &sweep);
+
+} // namespace vsmooth::circuit
+
+#endif // VSMOOTH_CIRCUIT_AC_HH

@@ -1,0 +1,92 @@
+#include "dc.hh"
+
+#include "circuit/dense_matrix.hh"
+#include "common/logging.hh"
+
+namespace vsmooth::circuit {
+
+DcSolution
+dcOperatingPoint(const Netlist &net)
+{
+    const std::size_t num_nodes = net.numNodes();
+    // Count inductors: each contributes one branch-current unknown.
+    std::vector<std::size_t> inductor_elems;
+    for (std::size_t i = 0; i < net.elements().size(); ++i) {
+        if (net.elements()[i].kind == ElementKind::Inductor)
+            inductor_elems.push_back(i);
+    }
+    const std::size_t nv = num_nodes - 1; // non-ground node voltages
+    const std::size_t nb = net.voltageSources().size() + inductor_elems.size();
+    const std::size_t n = nv + nb;
+    if (n == 0)
+        return {std::vector<double>(num_nodes, 0.0), {}};
+
+    DenseMatrix<double> A(n, n);
+    std::vector<double> rhs(n, 0.0);
+
+    // Node voltage unknown index for node id k (k >= 1) is k-1.
+    auto vidx = [](NodeId node) { return static_cast<std::size_t>(node - 1); };
+
+    // Resistor stamps; capacitors are open at DC (no stamp).
+    for (const auto &e : net.elements()) {
+        if (e.kind != ElementKind::Resistor)
+            continue;
+        const double g = 1.0 / e.value;
+        if (e.a != kGround) {
+            A(vidx(e.a), vidx(e.a)) += g;
+            if (e.b != kGround) {
+                A(vidx(e.a), vidx(e.b)) -= g;
+                A(vidx(e.b), vidx(e.a)) -= g;
+            }
+        }
+        if (e.b != kGround)
+            A(vidx(e.b), vidx(e.b)) += g;
+    }
+
+    // Current sources: value flows out of pos, into neg.
+    for (const auto &s : net.currentSources()) {
+        if (s.pos != kGround)
+            rhs[vidx(s.pos)] -= s.value;
+        if (s.neg != kGround)
+            rhs[vidx(s.neg)] += s.value;
+    }
+
+    // Branch rows: voltage sources first, then inductors (as 0 V).
+    std::size_t branch = nv;
+    auto stampBranch = [&](NodeId pos, NodeId neg, double volts) {
+        if (pos != kGround) {
+            A(vidx(pos), branch) += 1.0;
+            A(branch, vidx(pos)) += 1.0;
+        }
+        if (neg != kGround) {
+            A(vidx(neg), branch) -= 1.0;
+            A(branch, vidx(neg)) -= 1.0;
+        }
+        rhs[branch] = volts;
+        ++branch;
+    };
+    for (const auto &s : net.voltageSources())
+        stampBranch(s.pos, s.neg, s.value);
+    for (std::size_t ei : inductor_elems) {
+        const auto &e = net.elements()[ei];
+        stampBranch(e.a, e.b, 0.0);
+    }
+
+    if (!A.luFactor())
+        fatal("DC operating point is singular; check that every node has "
+              "a DC path to ground");
+    std::vector<double> x;
+    A.solve(rhs, x);
+
+    DcSolution sol;
+    sol.nodeVoltages.assign(num_nodes, 0.0);
+    for (std::size_t k = 1; k < num_nodes; ++k)
+        sol.nodeVoltages[k] = x[k - 1];
+    sol.inductorCurrents.reserve(inductor_elems.size());
+    const std::size_t first_ind = nv + net.voltageSources().size();
+    for (std::size_t i = 0; i < inductor_elems.size(); ++i)
+        sol.inductorCurrents.push_back(x[first_ind + i]);
+    return sol;
+}
+
+} // namespace vsmooth::circuit

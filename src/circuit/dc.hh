@@ -1,0 +1,42 @@
+/**
+ * @file
+ * DC operating-point analysis.
+ *
+ * Capacitors are opens and inductors are 0 V sources (ideal shorts
+ * carrying an unknown branch current). The solution supplies the
+ * initial state for transient analysis: capacitor voltages from node
+ * voltages, inductor currents from the extra branch unknowns.
+ */
+
+#ifndef VSMOOTH_CIRCUIT_DC_HH
+#define VSMOOTH_CIRCUIT_DC_HH
+
+#include <vector>
+
+#include "circuit/netlist.hh"
+
+namespace vsmooth::circuit {
+
+/** Result of a DC operating-point solve. */
+struct DcSolution
+{
+    /** Node voltages, indexed by NodeId (ground included, = 0). */
+    std::vector<double> nodeVoltages;
+    /**
+     * Branch current through each inductor, in netlist element order
+     * restricted to inductors, positive from element node a to b.
+     */
+    std::vector<double> inductorCurrents;
+};
+
+/**
+ * Solve the DC operating point of a netlist.
+ *
+ * Fails (fatal) if the system is singular, e.g. a node with no DC path
+ * to ground.
+ */
+DcSolution dcOperatingPoint(const Netlist &net);
+
+} // namespace vsmooth::circuit
+
+#endif // VSMOOTH_CIRCUIT_DC_HH

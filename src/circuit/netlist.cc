@@ -1,0 +1,110 @@
+#include "netlist.hh"
+
+#include "common/logging.hh"
+
+namespace vsmooth::circuit {
+
+Netlist::Netlist() : numNodes_(1) // ground pre-exists
+{
+}
+
+NodeId
+Netlist::newNode()
+{
+    return static_cast<NodeId>(numNodes_++);
+}
+
+void
+Netlist::checkNode(NodeId n) const
+{
+    if (n < 0 || static_cast<std::size_t>(n) >= numNodes_)
+        panic("Netlist: node %d out of range (have %zu)", n, numNodes_);
+}
+
+void
+Netlist::addResistor(NodeId a, NodeId b, Ohms r, std::string label)
+{
+    checkNode(a);
+    checkNode(b);
+    if (r.value() <= 0.0)
+        fatal("resistor '%s' must have positive resistance (got %g)",
+              label.c_str(), r.value());
+    elements_.push_back({ElementKind::Resistor, a, b, r.value(),
+                         std::move(label)});
+}
+
+void
+Netlist::addCapacitor(NodeId a, NodeId b, Farads c, std::string label)
+{
+    checkNode(a);
+    checkNode(b);
+    if (c.value() <= 0.0)
+        fatal("capacitor '%s' must have positive capacitance (got %g)",
+              label.c_str(), c.value());
+    elements_.push_back({ElementKind::Capacitor, a, b, c.value(),
+                         std::move(label)});
+}
+
+void
+Netlist::addInductor(NodeId a, NodeId b, Henries l, std::string label)
+{
+    checkNode(a);
+    checkNode(b);
+    if (l.value() <= 0.0)
+        fatal("inductor '%s' must have positive inductance (got %g)",
+              label.c_str(), l.value());
+    elements_.push_back({ElementKind::Inductor, a, b, l.value(),
+                         std::move(label)});
+}
+
+SourceId
+Netlist::addVoltageSource(NodeId pos, NodeId neg, Volts v, std::string label)
+{
+    checkNode(pos);
+    checkNode(neg);
+    vsources_.push_back({pos, neg, v.value(), std::move(label)});
+    return SourceId{vsources_.size() - 1};
+}
+
+SourceId
+Netlist::addCurrentSource(NodeId pos, NodeId neg, Amps i, std::string label)
+{
+    checkNode(pos);
+    checkNode(neg);
+    isources_.push_back({pos, neg, i.value(), std::move(label)});
+    return SourceId{isources_.size() - 1};
+}
+
+void
+Netlist::setVoltageSource(SourceId id, Volts v)
+{
+    if (!id.valid() || id.index >= vsources_.size())
+        panic("setVoltageSource: bad source id");
+    vsources_[id.index].value = v.value();
+}
+
+void
+Netlist::setCurrentSource(SourceId id, Amps i)
+{
+    if (!id.valid() || id.index >= isources_.size())
+        panic("setCurrentSource: bad source id");
+    isources_[id.index].value = i.value();
+}
+
+double
+Netlist::voltageSourceValue(SourceId id) const
+{
+    if (!id.valid() || id.index >= vsources_.size())
+        panic("voltageSourceValue: bad source id");
+    return vsources_[id.index].value;
+}
+
+double
+Netlist::currentSourceValue(SourceId id) const
+{
+    if (!id.valid() || id.index >= isources_.size())
+        panic("currentSourceValue: bad source id");
+    return isources_[id.index].value;
+}
+
+} // namespace vsmooth::circuit

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Linear circuit netlist: the element graph shared by DC, AC, and
+ * transient analyses.
+ *
+ * Node 0 is ground. Elements reference nodes by index; sources get
+ * stable ids so analyses can update their values at run time (the CPU
+ * activity model drives a current source per core, per cycle).
+ */
+
+#ifndef VSMOOTH_CIRCUIT_NETLIST_HH
+#define VSMOOTH_CIRCUIT_NETLIST_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace vsmooth::circuit {
+
+/** Node index; kGround (0) is the reference node. */
+using NodeId = int;
+constexpr NodeId kGround = 0;
+
+/** Stable handle to a source whose value may change during analysis. */
+struct SourceId
+{
+    std::size_t index = static_cast<std::size_t>(-1);
+    bool valid() const { return index != static_cast<std::size_t>(-1); }
+};
+
+/** Passive two-terminal element kinds. */
+enum class ElementKind { Resistor, Capacitor, Inductor };
+
+/** A passive element between two nodes. */
+struct Element
+{
+    ElementKind kind;
+    NodeId a;
+    NodeId b;
+    /** Ohms, farads, or henries depending on kind. */
+    double value;
+    std::string label;
+};
+
+/** Independent voltage source (value updatable between steps). */
+struct VoltageSource
+{
+    NodeId pos;
+    NodeId neg;
+    double value;
+    std::string label;
+};
+
+/** Independent current source; positive value flows pos -> neg
+ *  through the source (i.e., it pulls current out of node pos). */
+struct CurrentSource
+{
+    NodeId pos;
+    NodeId neg;
+    double value;
+    std::string label;
+};
+
+/**
+ * Mutable netlist builder + element storage.
+ *
+ * Analyses take a const reference; only source *values* are mutable
+ * afterwards, via the SourceId handles.
+ */
+class Netlist
+{
+  public:
+    Netlist();
+
+    /** Allocate a fresh node and return its id. */
+    NodeId newNode();
+
+    /** Number of nodes including ground. */
+    std::size_t numNodes() const { return numNodes_; }
+
+    /** Add a resistor; resistance must be positive. */
+    void addResistor(NodeId a, NodeId b, Ohms r, std::string label = "");
+    /** Add a capacitor; capacitance must be positive. */
+    void addCapacitor(NodeId a, NodeId b, Farads c, std::string label = "");
+    /** Add an inductor; inductance must be positive. */
+    void addInductor(NodeId a, NodeId b, Henries l, std::string label = "");
+
+    /** Add a voltage source (pos-neg = value). */
+    SourceId addVoltageSource(NodeId pos, NodeId neg, Volts v,
+                              std::string label = "");
+    /**
+     * Add a current source drawing current out of node pos and
+     * returning it into node neg (a load draws from the supply node to
+     * ground).
+     */
+    SourceId addCurrentSource(NodeId pos, NodeId neg, Amps i,
+                              std::string label = "");
+
+    /** Update a voltage source's value. */
+    void setVoltageSource(SourceId id, Volts v);
+    /** Update a current source's value. */
+    void setCurrentSource(SourceId id, Amps i);
+
+    const std::vector<Element> &elements() const { return elements_; }
+    const std::vector<VoltageSource> &voltageSources() const
+    { return vsources_; }
+    const std::vector<CurrentSource> &currentSources() const
+    { return isources_; }
+
+    double voltageSourceValue(SourceId id) const;
+    double currentSourceValue(SourceId id) const;
+
+  private:
+    void checkNode(NodeId n) const;
+
+    std::size_t numNodes_;
+    std::vector<Element> elements_;
+    std::vector<VoltageSource> vsources_;
+    std::vector<CurrentSource> isources_;
+};
+
+} // namespace vsmooth::circuit
+
+#endif // VSMOOTH_CIRCUIT_NETLIST_HH

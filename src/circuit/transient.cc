@@ -1,0 +1,185 @@
+#include "transient.hh"
+
+#include "circuit/dc.hh"
+#include "common/logging.hh"
+
+namespace vsmooth::circuit {
+
+TransientSolver::TransientSolver(Netlist &net, Seconds dt)
+    : net_(net), dt_(dt.value())
+{
+    if (dt_ <= 0.0)
+        fatal("TransientSolver: timestep must be positive (got %g)", dt_);
+
+    for (std::size_t i = 0; i < net_.elements().size(); ++i) {
+        const auto &e = net_.elements()[i];
+        switch (e.kind) {
+          case ElementKind::Capacitor:
+            caps_.push_back({i, 2.0 * e.value / dt_, 0.0, 0.0});
+            break;
+          case ElementKind::Inductor:
+            inds_.push_back({i, dt_ / (2.0 * e.value), 0.0, 0.0});
+            break;
+          case ElementKind::Resistor:
+            break;
+        }
+    }
+
+    numNodeUnknowns_ = net_.numNodes() - 1;
+    numUnknowns_ = numNodeUnknowns_ + net_.voltageSources().size();
+    rhs_.assign(numUnknowns_, 0.0);
+    solution_.assign(numUnknowns_, 0.0);
+
+    buildMatrix();
+    initFromDc();
+}
+
+void
+TransientSolver::buildMatrix()
+{
+    lu_ = DenseMatrix<double>(numUnknowns_, numUnknowns_);
+
+    auto stampConductance = [&](NodeId a, NodeId b, double g) {
+        if (a != kGround) {
+            lu_(vidx(a), vidx(a)) += g;
+            if (b != kGround) {
+                lu_(vidx(a), vidx(b)) -= g;
+                lu_(vidx(b), vidx(a)) -= g;
+            }
+        }
+        if (b != kGround)
+            lu_(vidx(b), vidx(b)) += g;
+    };
+
+    for (const auto &e : net_.elements()) {
+        if (e.kind == ElementKind::Resistor)
+            stampConductance(e.a, e.b, 1.0 / e.value);
+    }
+    for (const auto &c : caps_) {
+        const auto &e = net_.elements()[c.elem];
+        stampConductance(e.a, e.b, c.geq);
+    }
+    for (const auto &l : inds_) {
+        const auto &e = net_.elements()[l.elem];
+        stampConductance(e.a, e.b, l.geq);
+    }
+
+    std::size_t branch = numNodeUnknowns_;
+    for (const auto &s : net_.voltageSources()) {
+        if (s.pos != kGround) {
+            lu_(vidx(s.pos), branch) += 1.0;
+            lu_(branch, vidx(s.pos)) += 1.0;
+        }
+        if (s.neg != kGround) {
+            lu_(vidx(s.neg), branch) -= 1.0;
+            lu_(branch, vidx(s.neg)) -= 1.0;
+        }
+        ++branch;
+    }
+
+    if (!lu_.luFactor())
+        fatal("transient MNA matrix is singular; check netlist "
+              "connectivity");
+}
+
+void
+TransientSolver::initFromDc()
+{
+    const DcSolution dc = dcOperatingPoint(net_);
+
+    auto vdiff = [&](const Element &e) {
+        return dc.nodeVoltages[e.a] - dc.nodeVoltages[e.b];
+    };
+    for (auto &c : caps_) {
+        c.vPrev = vdiff(net_.elements()[c.elem]);
+        c.iPrev = 0.0; // no capacitor current at DC
+    }
+    std::size_t di = 0;
+    for (auto &l : inds_) {
+        l.vPrev = 0.0; // ideal inductor drops 0 V at DC
+        l.iPrev = dc.inductorCurrents[di++];
+    }
+
+    // Seed the "previous solution" node voltages for nodeVoltage()
+    // queries made before the first step.
+    for (std::size_t k = 1; k < net_.numNodes(); ++k)
+        solution_[k - 1] = dc.nodeVoltages[k];
+    time_ = 0.0;
+}
+
+void
+TransientSolver::step()
+{
+    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+
+    auto inject = [&](NodeId node, double amps) {
+        if (node != kGround)
+            rhs_[vidx(node)] += amps;
+    };
+
+    // Capacitor companion: element current a->b is
+    //   i_n = geq * v_n - (geq * v_prev + i_prev)
+    // The constant term is an equivalent injection into node a.
+    for (const auto &c : caps_) {
+        const auto &e = net_.elements()[c.elem];
+        const double src = c.geq * c.vPrev + c.iPrev;
+        inject(e.a, src);
+        inject(e.b, -src);
+    }
+    // Inductor companion: i_n = geq * v_n + (i_prev + geq * v_prev);
+    // the constant term leaves node a, i.e. injects negatively.
+    for (const auto &l : inds_) {
+        const auto &e = net_.elements()[l.elem];
+        const double src = l.iPrev + l.geq * l.vPrev;
+        inject(e.a, -src);
+        inject(e.b, src);
+    }
+    // Independent current sources draw out of pos into neg.
+    for (const auto &s : net_.currentSources()) {
+        inject(s.pos, -s.value);
+        inject(s.neg, s.value);
+    }
+    // Voltage source branch rows.
+    std::size_t branch = numNodeUnknowns_;
+    for (const auto &s : net_.voltageSources())
+        rhs_[branch++] = s.value;
+
+    lu_.solve(rhs_, solution_);
+    time_ += dt_;
+
+    // Update element state from the new node voltages.
+    auto nodeV = [&](NodeId node) {
+        return node == kGround ? 0.0 : solution_[vidx(node)];
+    };
+    for (auto &c : caps_) {
+        const auto &e = net_.elements()[c.elem];
+        const double v = nodeV(e.a) - nodeV(e.b);
+        const double i = c.geq * v - (c.geq * c.vPrev + c.iPrev);
+        c.vPrev = v;
+        c.iPrev = i;
+    }
+    for (auto &l : inds_) {
+        const auto &e = net_.elements()[l.elem];
+        const double v = nodeV(e.a) - nodeV(e.b);
+        const double i = l.iPrev + l.geq * (v + l.vPrev);
+        l.vPrev = v;
+        l.iPrev = i;
+    }
+}
+
+void
+TransientSolver::run(std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        step();
+}
+
+double
+TransientSolver::nodeVoltage(NodeId node) const
+{
+    if (node == kGround)
+        return 0.0;
+    return solution_[vidx(node)];
+}
+
+} // namespace vsmooth::circuit

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fixed-timestep transient analysis using trapezoidal companion models.
+ *
+ * The MNA matrix depends only on topology and the timestep, so it is
+ * factored once at construction; each step() rebuilds the right-hand
+ * side from stored element state plus the netlist's current source
+ * values and performs two triangular solves. This makes per-CPU-cycle
+ * stepping cheap enough to couple the PDN to the core activity model.
+ *
+ * Source values are read from the netlist at each step; callers update
+ * them between steps via Netlist::setCurrentSource / setVoltageSource.
+ */
+
+#ifndef VSMOOTH_CIRCUIT_TRANSIENT_HH
+#define VSMOOTH_CIRCUIT_TRANSIENT_HH
+
+#include <vector>
+
+#include "circuit/dense_matrix.hh"
+#include "circuit/netlist.hh"
+#include "common/units.hh"
+
+namespace vsmooth::circuit {
+
+/**
+ * Trapezoidal transient solver over a fixed netlist.
+ *
+ * The netlist's element set must not change after construction; only
+ * source values may be updated between steps.
+ */
+class TransientSolver
+{
+  public:
+    /**
+     * Build the solver and initialize state from the DC operating
+     * point of the netlist (with the source values it currently has).
+     *
+     * @param net the circuit; must outlive the solver
+     * @param dt fixed timestep
+     */
+    TransientSolver(Netlist &net, Seconds dt);
+
+    /** Advance the circuit by one timestep. */
+    void step();
+
+    /** Advance by n timesteps. */
+    void run(std::size_t n);
+
+    /** Voltage at a node after the last step (or the DC value). */
+    double nodeVoltage(NodeId node) const;
+
+    /** Elapsed simulated time. */
+    Seconds time() const { return Seconds(time_); }
+
+    /** Timestep the solver was built with. */
+    Seconds dt() const { return Seconds(dt_); }
+
+    /**
+     * Re-initialize element state from a fresh DC solve with the
+     * netlist's current source values (e.g. to model a reset that
+     * restarts from steady state).
+     */
+    void initFromDc();
+
+  private:
+    struct CapState
+    {
+        std::size_t elem; // index into net.elements()
+        double geq;       // 2C/dt
+        double vPrev = 0.0;
+        double iPrev = 0.0;
+    };
+    struct IndState
+    {
+        std::size_t elem;
+        double geq;       // dt/(2L)
+        double vPrev = 0.0;
+        double iPrev = 0.0;
+    };
+
+    std::size_t vidx(NodeId node) const
+    { return static_cast<std::size_t>(node - 1); }
+
+    void buildMatrix();
+
+    Netlist &net_;
+    double dt_;
+    double time_ = 0.0;
+
+    std::size_t numNodeUnknowns_;
+    std::size_t numUnknowns_;
+    DenseMatrix<double> lu_;
+    std::vector<double> rhs_;
+    std::vector<double> solution_;
+
+    std::vector<CapState> caps_;
+    std::vector<IndState> inds_;
+};
+
+} // namespace vsmooth::circuit
+
+#endif // VSMOOTH_CIRCUIT_TRANSIENT_HH

@@ -1,0 +1,132 @@
+#include "histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "logging.hh"
+
+namespace vsmooth {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity())
+{
+    if (!(hi > lo))
+        panic("Histogram: hi (%g) must exceed lo (%g)", hi, lo);
+    if (bins == 0)
+        panic("Histogram: need at least one bin");
+}
+
+std::size_t
+Histogram::binIndex(double x) const
+{
+    if (x < lo_)
+        return 0;
+    const auto raw = static_cast<std::size_t>((x - lo_) / width_);
+    return std::min(raw, counts_.size() - 1);
+}
+
+void
+Histogram::add(double x)
+{
+    add(x, 1);
+}
+
+void
+Histogram::add(double x, std::uint64_t count)
+{
+    counts_[binIndex(x)] += count;
+    total_ += count;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
+        other.hi_ != hi_) {
+        panic("Histogram::merge: incompatible layouts");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+Histogram::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double
+Histogram::fractionBelow(double x) const
+{
+    if (total_ == 0)
+        return 0.0;
+    if (x <= lo_)
+        return 0.0;
+    if (x >= hi_)
+        return 1.0;
+    const std::size_t idx = binIndex(x);
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i < idx; ++i)
+        below += counts_[i];
+    // Interpolate within the boundary bin for smoother CDF queries.
+    const double frac_in_bin =
+        (x - (lo_ + static_cast<double>(idx) * width_)) / width_;
+    const double partial = frac_in_bin * static_cast<double>(counts_[idx]);
+    return (static_cast<double>(below) + partial) /
+        static_cast<double>(total_);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        panic("Histogram::quantile on empty histogram");
+    if (q < 0.0 || q > 1.0)
+        panic("Histogram::quantile q=%g outside [0,1]", q);
+    const auto target = static_cast<double>(total_) * q;
+    double cum = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cum += static_cast<double>(counts_[i]);
+        if (cum >= target)
+            return binCenter(i);
+    }
+    return binCenter(counts_.size() - 1);
+}
+
+std::vector<std::pair<double, double>>
+Histogram::cdf() const
+{
+    std::vector<std::pair<double, double>> out;
+    out.reserve(counts_.size());
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cum += counts_[i];
+        const double edge = lo_ + static_cast<double>(i + 1) * width_;
+        const double frac = total_ == 0
+            ? 0.0
+            : static_cast<double>(cum) / static_cast<double>(total_);
+        out.emplace_back(edge, frac);
+    }
+    return out;
+}
+
+} // namespace vsmooth

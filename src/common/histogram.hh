@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fixed-bin streaming histogram and cumulative-distribution helpers.
+ *
+ * This is the software model of the oscilloscope's "highly compressed
+ * histogram format" the paper relied on (Sec II-A): billions of voltage
+ * samples reduce to a small fixed-size array, from which CDFs (Fig 7,
+ * Fig 9), tail fractions (0.06 % beyond -4 %), and extreme droop /
+ * overshoot values are recovered.
+ */
+
+#ifndef VSMOOTH_COMMON_HISTOGRAM_HH
+#define VSMOOTH_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vsmooth {
+
+/**
+ * Histogram over a fixed range [lo, hi) with uniform bins.
+ *
+ * Samples outside the range are clamped into the first/last bin so no
+ * sample is ever silently dropped (extreme droops are precisely the
+ * interesting ones). Exact min/max are tracked separately.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo inclusive lower edge of the binned range
+     * @param hi exclusive upper edge of the binned range
+     * @param bins number of uniform bins (>= 1)
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Add a sample with a given multiplicity (weight >= 1). */
+    void add(double x, std::uint64_t count);
+
+    /** Merge a compatible histogram (same lo/hi/bins). */
+    void merge(const Histogram &other);
+
+    /** Reset all counts. */
+    void clear();
+
+    std::uint64_t totalCount() const { return total_; }
+    std::size_t numBins() const { return counts_.size(); }
+    double lowerEdge() const { return lo_; }
+    double upperEdge() const { return hi_; }
+    /** Exact minimum sample seen (not bin-quantized). */
+    double minSample() const { return min_; }
+    /** Exact maximum sample seen (not bin-quantized). */
+    double maxSample() const { return max_; }
+
+    /** Count in bin i. */
+    std::uint64_t binCount(std::size_t i) const { return counts_.at(i); }
+    /** Center value of bin i. */
+    double binCenter(std::size_t i) const;
+
+    /** Fraction of samples strictly below x (bin-resolution accurate). */
+    double fractionBelow(double x) const;
+    /** Fraction of samples at or above x. */
+    double fractionAtOrAbove(double x) const { return 1.0 - fractionBelow(x); }
+
+    /**
+     * Inverse CDF: smallest bin center v such that at least fraction q
+     * of samples are <= v. q in [0, 1].
+     */
+    double quantile(double q) const;
+
+    /**
+     * CDF evaluated at each bin's upper edge, as (value, cumulative
+     * fraction) pairs — directly plottable as the paper's Fig 7/9.
+     */
+    std::vector<std::pair<double, double>> cdf() const;
+
+  private:
+    std::size_t binIndex(double x) const;
+
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    double min_;
+    double max_;
+};
+
+} // namespace vsmooth
+
+#endif // VSMOOTH_COMMON_HISTOGRAM_HH

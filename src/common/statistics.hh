@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the characterization and
+ * scheduling studies: running (Welford) accumulators, percentiles,
+ * Pearson correlation, least-squares regression, and five-number
+ * boxplot summaries (Fig 17 of the paper is a boxplot).
+ */
+
+#ifndef VSMOOTH_COMMON_STATISTICS_HH
+#define VSMOOTH_COMMON_STATISTICS_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vsmooth {
+
+/**
+ * Streaming mean/variance/min/max accumulator (Welford's algorithm).
+ * O(1) memory; numerically stable for billions of samples.
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel reduction). */
+    void merge(const RunningStats &other);
+
+    /** Number of samples added. */
+    std::size_t count() const { return count_; }
+    /** Sample mean; 0 if empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+    /** Unbiased sample variance; 0 if fewer than two samples. */
+    double variance() const;
+    /** Sample standard deviation. */
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+    /** max - min. */
+    double range() const { return count_ ? max_ - min_ : 0.0; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Arithmetic mean of a sample; 0 if empty. */
+double mean(std::span<const double> xs);
+
+/** Unbiased sample standard deviation; 0 if fewer than two samples. */
+double stddev(std::span<const double> xs);
+
+/**
+ * Linear-interpolated percentile, p in [0, 100].
+ * Sorts a copy; O(n log n).
+ */
+double percentile(std::span<const double> xs, double p);
+
+/** Pearson linear correlation coefficient; 0 if degenerate. */
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/** Least-squares fit y = slope * x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination. */
+    double r2 = 0.0;
+};
+
+/** Fit a line through (xs, ys); sizes must match and be >= 2. */
+LinearFit linearFit(std::span<const double> xs, std::span<const double> ys);
+
+/**
+ * Five-number summary for boxplots: min, first quartile, median, third
+ * quartile, max (plus mean for convenience).
+ */
+struct BoxplotSummary
+{
+    double min = 0.0;
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+};
+
+/** Compute the five-number summary of a (non-empty) sample. */
+BoxplotSummary boxplot(std::span<const double> xs);
+
+} // namespace vsmooth
+
+#endif // VSMOOTH_COMMON_STATISTICS_HH

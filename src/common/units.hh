@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Strong SI-unit types used at vsmooth API boundaries.
+ *
+ * Inner simulation loops operate on raw doubles for speed; public
+ * interfaces accept and return these wrappers so that a caller cannot
+ * accidentally pass amps where volts are expected. Each quantity is a
+ * thin value type: same-unit addition/subtraction, scalar scaling, and
+ * comparison are allowed; cross-unit arithmetic is provided only where
+ * it is physically meaningful (V = I * R, f = 1 / t, ...).
+ */
+
+#ifndef VSMOOTH_COMMON_UNITS_HH
+#define VSMOOTH_COMMON_UNITS_HH
+
+#include <compare>
+#include <cstdint>
+
+namespace vsmooth {
+
+/**
+ * Generic strongly typed scalar quantity.
+ *
+ * @tparam Tag phantom type distinguishing units.
+ */
+template <typename Tag>
+class Quantity
+{
+  public:
+    constexpr Quantity() = default;
+    constexpr explicit Quantity(double value) : value_(value) {}
+
+    /** Underlying numeric value in the unit's SI base. */
+    constexpr double value() const { return value_; }
+
+    constexpr Quantity operator+(Quantity o) const
+    { return Quantity(value_ + o.value_); }
+    constexpr Quantity operator-(Quantity o) const
+    { return Quantity(value_ - o.value_); }
+    constexpr Quantity operator-() const { return Quantity(-value_); }
+    constexpr Quantity operator*(double s) const
+    { return Quantity(value_ * s); }
+    constexpr Quantity operator/(double s) const
+    { return Quantity(value_ / s); }
+    /** Ratio of two same-unit quantities is dimensionless. */
+    constexpr double operator/(Quantity o) const
+    { return value_ / o.value_; }
+
+    constexpr Quantity &operator+=(Quantity o)
+    { value_ += o.value_; return *this; }
+    constexpr Quantity &operator-=(Quantity o)
+    { value_ -= o.value_; return *this; }
+    constexpr Quantity &operator*=(double s)
+    { value_ *= s; return *this; }
+
+    constexpr auto operator<=>(const Quantity &) const = default;
+
+  private:
+    double value_ = 0.0;
+};
+
+template <typename Tag>
+constexpr Quantity<Tag>
+operator*(double s, Quantity<Tag> q)
+{
+    return q * s;
+}
+
+struct VoltsTag {};
+struct AmpsTag {};
+struct OhmsTag {};
+struct FaradsTag {};
+struct HenriesTag {};
+struct HertzTag {};
+struct SecondsTag {};
+struct WattsTag {};
+
+using Volts = Quantity<VoltsTag>;
+using Amps = Quantity<AmpsTag>;
+using Ohms = Quantity<OhmsTag>;
+using Farads = Quantity<FaradsTag>;
+using Henries = Quantity<HenriesTag>;
+using Hertz = Quantity<HertzTag>;
+using Seconds = Quantity<SecondsTag>;
+using Watts = Quantity<WattsTag>;
+
+/** Ohm's law: V = I * R. */
+constexpr Volts operator*(Amps i, Ohms r) { return Volts(i.value() * r.value()); }
+constexpr Volts operator*(Ohms r, Amps i) { return i * r; }
+/** I = V / R. */
+constexpr Amps operator/(Volts v, Ohms r) { return Amps(v.value() / r.value()); }
+/** R = V / I. */
+constexpr Ohms operator/(Volts v, Amps i) { return Ohms(v.value() / i.value()); }
+/** P = V * I. */
+constexpr Watts operator*(Volts v, Amps i) { return Watts(v.value() * i.value()); }
+constexpr Watts operator*(Amps i, Volts v) { return v * i; }
+/** f = 1 / t and t = 1 / f. */
+constexpr Hertz toFrequency(Seconds t) { return Hertz(1.0 / t.value()); }
+constexpr Seconds toPeriod(Hertz f) { return Seconds(1.0 / f.value()); }
+
+namespace units {
+
+/** User-facing literal helpers: volts(1.2), milli::ohms(2.1), ... */
+constexpr Volts volts(double v) { return Volts(v); }
+constexpr Volts millivolts(double v) { return Volts(v * 1e-3); }
+constexpr Amps amps(double v) { return Amps(v); }
+constexpr Ohms ohms(double v) { return Ohms(v); }
+constexpr Ohms milliohms(double v) { return Ohms(v * 1e-3); }
+constexpr Farads farads(double v) { return Farads(v); }
+constexpr Farads microfarads(double v) { return Farads(v * 1e-6); }
+constexpr Farads nanofarads(double v) { return Farads(v * 1e-9); }
+constexpr Farads picofarads(double v) { return Farads(v * 1e-12); }
+constexpr Henries henries(double v) { return Henries(v); }
+constexpr Henries nanohenries(double v) { return Henries(v * 1e-9); }
+constexpr Henries picohenries(double v) { return Henries(v * 1e-12); }
+constexpr Hertz hertz(double v) { return Hertz(v); }
+constexpr Hertz kilohertz(double v) { return Hertz(v * 1e3); }
+constexpr Hertz megahertz(double v) { return Hertz(v * 1e6); }
+constexpr Hertz gigahertz(double v) { return Hertz(v * 1e9); }
+constexpr Seconds seconds(double v) { return Seconds(v); }
+constexpr Seconds nanoseconds(double v) { return Seconds(v * 1e-9); }
+constexpr Seconds picoseconds(double v) { return Seconds(v * 1e-12); }
+constexpr Watts watts(double v) { return Watts(v); }
+
+} // namespace units
+
+/** Simulation cycle count. */
+using Cycles = std::uint64_t;
+
+} // namespace vsmooth
+
+#endif // VSMOOTH_COMMON_UNITS_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Abstract per-cycle core model.
+ *
+ * A core model advances one clock cycle at a time and reports its
+ * activity level, which the power model converts to current draw.
+ * Two implementations exist (the gem5 atomic-vs-detailed split):
+ *
+ *  - DetailedCore: executes a synthetic instruction stream through
+ *    real cache/TLB/predictor structures (microbenchmark studies).
+ *  - FastCore: phase-based stochastic activity process (full-suite
+ *    sweeps, 10-100x faster).
+ */
+
+#ifndef VSMOOTH_CPU_CORE_MODEL_HH
+#define VSMOOTH_CPU_CORE_MODEL_HH
+
+#include <cstdint>
+
+#include "cpu/perf_counters.hh"
+
+namespace vsmooth::cpu {
+
+/** Abstract cycle-stepped core. */
+class CoreModel
+{
+  public:
+    virtual ~CoreModel() = default;
+
+    /**
+     * Advance one cycle.
+     * @return activity level for the cycle, nominally in [0, ~1.2]
+     *         (refill bursts can exceed the steady-state level)
+     */
+    virtual double tick() = 0;
+
+    /** Performance counters accumulated so far. */
+    virtual const PerfCounters &counters() const = 0;
+
+    /**
+     * Stall this core for `cycles` while the chip-wide fail-safe
+     * rolls back and recovers from a voltage emergency (Sec IV).
+     */
+    virtual void injectRecoveryStall(std::uint32_t cycles) = 0;
+
+    /**
+     * Deliver a platform interrupt (OS timer tick). The System raises
+     * it on every core in the same cycle — the synchronized stall +
+     * restart is a chip-wide di/dt event.
+     */
+    virtual void injectPlatformInterrupt() = 0;
+
+    /** True once the workload has run to completion. */
+    virtual bool finished() const = 0;
+};
+
+} // namespace vsmooth::cpu
+
+#endif // VSMOOTH_CPU_CORE_MODEL_HH

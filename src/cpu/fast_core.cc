@@ -1,0 +1,232 @@
+#include "fast_core.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vsmooth::cpu {
+
+StallCause
+eventClassCause(std::size_t index)
+{
+    switch (index) {
+      case 0: return StallCause::L1Miss;
+      case 1: return StallCause::L2Miss;
+      case 2: return StallCause::TlbMiss;
+      case 3: return StallCause::BranchMispredict;
+      case 4: return StallCause::Exception;
+      default:
+        panic("eventClassCause: index %zu out of range", index);
+    }
+}
+
+double
+ActivityPhase::expectedStallRatio() const
+{
+    // The event process only advances while the core is Running, so
+    // the steady-state cycle budget per event is gap + blocked +
+    // surge with gap = 1 / totalRate. Expected stall ratio is the
+    // blocked share of that budget.
+    double total_rate = 0.0;
+    double mean_blocked = 0.0;
+    double mean_surge = 0.0;
+    for (std::size_t c = 0; c < kNumEventClasses; ++c) {
+        const StallCause cause = eventClassCause(c);
+        const EventTiming &t = defaultTiming(cause);
+        const double r = eventRatesPer1k[c] / 1000.0;
+        double stall = static_cast<double>(t.stallCycles);
+        double surge = static_cast<double>(t.surgeCycles);
+        if (cause == StallCause::L2Miss) {
+            stall = std::max(1.0, stall * l2StallScale);
+            surge = std::max(4.0, surge * l2StallScale);
+        }
+        total_rate += r;
+        mean_blocked += r * (static_cast<double>(t.rampDownCycles) + stall);
+        mean_surge += r * surge;
+    }
+    if (total_rate <= 0.0)
+        return 0.0;
+    mean_blocked /= total_rate;
+    mean_surge /= total_rate;
+    const double gap = 1.0 / total_rate;
+    return mean_blocked / (gap + mean_blocked + mean_surge);
+}
+
+double
+ActivityPhase::expectedIpc() const
+{
+    return ipcWhenRunning * (1.0 - expectedStallRatio());
+}
+
+Cycles
+PhaseSchedule::totalDuration() const
+{
+    Cycles total = 0;
+    for (const auto &p : phases)
+        total += p.duration;
+    return total;
+}
+
+FastCore::FastCore(PhaseSchedule schedule, std::uint64_t seed)
+    : schedule_(std::move(schedule)), rng_(seed)
+{
+    if (schedule_.phases.empty())
+        fatal("FastCore needs at least one phase");
+    for (const auto &p : schedule_.phases) {
+        if (p.duration == 0)
+            fatal("FastCore: zero-length phase");
+    }
+    enterPhase(0);
+}
+
+void
+FastCore::enterPhase(std::size_t idx)
+{
+    phaseIdx_ = idx;
+    cyclesIntoPhase_ = 0;
+    engine_.setRunningActivity(phase().baseActivity);
+    totalEventRate_ = 0.0;
+    for (double r : phase().eventRatesPer1k)
+        totalEventRate_ += r / 1000.0;
+    scheduleNextEvent();
+}
+
+void
+FastCore::scheduleNextEvent()
+{
+    if (totalEventRate_ <= 0.0) {
+        cyclesToNextEvent_ = ~Cycles(0);
+        return;
+    }
+    cyclesToNextEvent_ = rng_.geometric(totalEventRate_);
+}
+
+double
+FastCore::tick()
+{
+    if (done_) {
+        // Even a finished workload's core still services recovery
+        // stalls and platform interrupts (the OS keeps running).
+        if (engine_.inEvent())
+            return engine_.tick(counters_);
+        counters_.tickCycle(StallCause::None);
+        return 0.12; // idle loop
+    }
+
+    // Phase bookkeeping.
+    if (++cyclesIntoPhase_ > phase().duration) {
+        if (phaseIdx_ + 1 < schedule_.phases.size()) {
+            enterPhase(phaseIdx_ + 1);
+        } else if (schedule_.loop) {
+            enterPhase(0);
+        } else {
+            done_ = true;
+            counters_.tickCycle(StallCause::None);
+            return 0.12;
+        }
+        ++cyclesIntoPhase_;
+    }
+
+    // Event process: only running cycles draw the next event closer
+    // (a stalled pipeline is not generating new misses).
+    if (!engine_.inEvent()) {
+        if (cyclesToNextEvent_ == 0 || --cyclesToNextEvent_ == 0) {
+            // Pick the class proportionally to its rate.
+            double pick = rng_.uniform() * totalEventRate_;
+            std::size_t cls = 0;
+            for (; cls + 1 < kNumEventClasses; ++cls) {
+                pick -= phase().eventRatesPer1k[cls] / 1000.0;
+                if (pick <= 0.0)
+                    break;
+            }
+            const StallCause cause = eventClassCause(cls);
+            counters_.recordEvent(cause);
+            if (cause == StallCause::L2Miss &&
+                phase().l2StallScale != 1.0) {
+                EventTiming t = defaultTiming(cause);
+                const double scale = phase().l2StallScale;
+                t.stallCycles = static_cast<std::uint32_t>(
+                    std::max(1.0,
+                             static_cast<double>(t.stallCycles) * scale));
+                // A shorter observed stall drains less state, so the
+                // bursty refill is proportionally shorter too.
+                t.surgeCycles = static_cast<std::uint32_t>(
+                    std::max(4.0,
+                             static_cast<double>(t.surgeCycles) * scale));
+                engine_.beginEvent(cause, t);
+            } else {
+                engine_.beginEvent(cause);
+            }
+            scheduleNextEvent();
+        }
+    }
+
+    double activity = engine_.tick(counters_);
+
+    if (!engine_.blocked()) {
+        // Commit instructions and apply activity dither while issuing.
+        ipcAccumulator_ += phase().ipcWhenRunning;
+        if (ipcAccumulator_ >= 1.0) {
+            const auto whole = static_cast<std::uint64_t>(ipcAccumulator_);
+            counters_.commitInstructions(whole);
+            ipcAccumulator_ -= static_cast<double>(whole);
+        }
+        if (engine_.state() == EngineState::Surge) {
+            // Refill is dependence-limited and erratic: wide activity
+            // noise rides on the surge. Rare cross-core coincidences
+            // of this noise are what produce the deep (5-10 %) droop
+            // tail of the paper's Fig 7, and they scale with event
+            // rate, preserving the stall-ratio coupling.
+            activity += rng_.uniform(-0.3, 0.3);
+        } else {
+            const double jitter = phase().activityJitter;
+            if (jitter > 0.0)
+                activity += rng_.uniform(-jitter, jitter);
+        }
+    }
+    return activity;
+}
+
+void
+FastCore::injectRecoveryStall(std::uint32_t cycles)
+{
+    counters_.recordEvent(StallCause::Recovery);
+    EventTiming timing;
+    timing.rampDownCycles = 0;
+    timing.stallCycles = cycles;
+    timing.stallActivity = 0.05;
+    // Checkpoint restore ramps execution back up in a controlled way
+    // (an aggressive restart right after an emergency would risk
+    // re-triggering it — the recovery-storm failure mode).
+    timing.surgeCycles = 16;
+    timing.surgeActivity = 0.95;
+    engine_.beginEvent(StallCause::Recovery, timing);
+}
+
+void
+FastCore::injectPlatformInterrupt()
+{
+    counters_.recordEvent(StallCause::Exception);
+    // The interrupt's restart burst scales with how hard the core was
+    // running (an idle core's tick handler barely registers) and its
+    // magnitude varies per tick with a long exponential tail: how
+    // much state the handler displaced, what the scheduler ran, DMA
+    // behind it. That heavy tail is what populates the deep end of
+    // the droop distribution (the paper's 9.6 % extreme over 881
+    // full-length runs).
+    EventTiming t = platformInterruptTiming();
+    const double magnitude = 1.0 + 0.5 * rng_.exponential(1.0);
+    const double busy =
+        std::min(engine_.runningActivity() * 1.55, 1.25);
+    t.surgeActivity = std::clamp(busy * magnitude, 0.30, 2.40);
+    engine_.beginEvent(StallCause::Exception, t);
+}
+
+bool
+FastCore::finished() const
+{
+    return done_ && !engine_.inEvent();
+}
+
+} // namespace vsmooth::cpu

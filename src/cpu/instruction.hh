@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Synthetic instruction descriptors and the stream interface the
+ * DetailedCore executes.
+ *
+ * Workloads (microbenchmarks, the power virus) are expressed as
+ * streams of these descriptors; microarchitectural events are *not*
+ * annotated here — they arise when the core runs the stream through
+ * its caches, TLB, and branch predictor, just as the paper's
+ * hand-written loops stimulated the real structures.
+ */
+
+#ifndef VSMOOTH_CPU_INSTRUCTION_HH
+#define VSMOOTH_CPU_INSTRUCTION_HH
+
+#include <cstdint>
+
+#include "cpu/cache.hh"
+
+namespace vsmooth::cpu {
+
+/** One synthetic instruction. */
+struct SyntheticInstruction
+{
+    Addr pc = 0;
+    bool isBranch = false;
+    bool branchTaken = false;
+    bool isMemory = false;
+    Addr memAddr = 0;
+    /** Architectural exception (the EXCP microbenchmark). */
+    bool raisesException = false;
+};
+
+/** Supplies the dynamic instruction stream to a DetailedCore. */
+class InstructionSource
+{
+  public:
+    virtual ~InstructionSource() = default;
+
+    /** Produce the next dynamic instruction. */
+    virtual SyntheticInstruction next() = 0;
+
+    /** True once the stream is exhausted (infinite streams: false). */
+    virtual bool finished() const { return false; }
+};
+
+} // namespace vsmooth::cpu
+
+#endif // VSMOOTH_CPU_INSTRUCTION_HH

@@ -1,0 +1,53 @@
+#include "perf_counters.hh"
+
+namespace vsmooth::cpu {
+
+std::string_view
+stallCauseName(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::None: return "none";
+      case StallCause::L1Miss: return "L1";
+      case StallCause::L2Miss: return "L2";
+      case StallCause::TlbMiss: return "TLB";
+      case StallCause::BranchMispredict: return "BR";
+      case StallCause::Exception: return "EXCP";
+      case StallCause::Recovery: return "RECOVERY";
+      default: return "?";
+    }
+}
+
+std::uint64_t
+PerfCounters::totalStallCycles() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t c : stallCycles_)
+        total += c;
+    return total;
+}
+
+double
+PerfCounters::ipc() const
+{
+    if (cycles_ == 0)
+        return 0.0;
+    return static_cast<double>(instructions_) /
+        static_cast<double>(cycles_);
+}
+
+double
+PerfCounters::stallRatio() const
+{
+    if (cycles_ == 0)
+        return 0.0;
+    return static_cast<double>(totalStallCycles()) /
+        static_cast<double>(cycles_);
+}
+
+void
+PerfCounters::reset()
+{
+    *this = PerfCounters{};
+}
+
+} // namespace vsmooth::cpu

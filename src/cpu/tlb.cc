@@ -1,0 +1,51 @@
+#include "tlb.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace vsmooth::cpu {
+
+Tlb::Tlb(std::uint32_t entries, std::uint32_t pageBytes)
+    : entries_(entries), pageBytes_(pageBytes)
+{
+    if (entries == 0)
+        fatal("TLB needs at least one entry");
+    if (pageBytes == 0 || !std::has_single_bit(pageBytes))
+        fatal("page size must be a power of two (got %u)", pageBytes);
+    pageShift_ = static_cast<std::uint32_t>(std::countr_zero(pageBytes));
+}
+
+bool
+Tlb::access(Addr addr)
+{
+    const Addr vpn = addr >> pageShift_;
+    ++useClock_;
+    Entry *victim = &entries_.front();
+    for (auto &e : entries_) {
+        if (e.valid && e.vpn == vpn) {
+            e.lastUse = useClock_;
+            ++hits_;
+            return true;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lastUse < victim->lastUse) {
+            victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lastUse = useClock_;
+    ++misses_;
+    return false;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+}
+
+} // namespace vsmooth::cpu

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fully-associative translation lookaside buffer with LRU replacement.
+ * A TLB miss triggers a hardware page walk, which is one of the stall
+ * events the paper's microbenchmarks isolate (Fig 11: TLB misses
+ * produce recurring voltage overshoots).
+ */
+
+#ifndef VSMOOTH_CPU_TLB_HH
+#define VSMOOTH_CPU_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/cache.hh"
+
+namespace vsmooth::cpu {
+
+/** Fully-associative LRU TLB. */
+class Tlb
+{
+  public:
+    /**
+     * @param entries number of TLB entries (Core 2 DTLB: 256)
+     * @param pageBytes page size (4 KiB)
+     */
+    explicit Tlb(std::uint32_t entries = 256,
+                 std::uint32_t pageBytes = 4096);
+
+    /**
+     * Translate an address; fills the entry on miss.
+     * @return true on hit
+     */
+    bool access(Addr addr);
+
+    void flush();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint32_t numEntries() const
+    { return static_cast<std::uint32_t>(entries_.size()); }
+    std::uint32_t pageBytes() const { return pageBytes_; }
+
+  private:
+    struct Entry
+    {
+        Addr vpn = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::vector<Entry> entries_;
+    std::uint32_t pageBytes_;
+    std::uint32_t pageShift_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace vsmooth::cpu
+
+#endif // VSMOOTH_CPU_TLB_HH

@@ -1,0 +1,107 @@
+#include "trace_core.hh"
+
+#include <string>
+
+#include "common/logging.hh"
+
+namespace vsmooth::cpu {
+
+ActivityTrace
+ActivityTrace::fromStream(std::istream &is)
+{
+    ActivityTrace trace;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        // Trim leading whitespace.
+        const auto start = line.find_first_not_of(" \t\r");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        char *end = nullptr;
+        const double v = std::strtod(line.c_str() + start, &end);
+        if (end == line.c_str() + start)
+            fatal("ActivityTrace: malformed line %zu: '%s'", lineno,
+                  line.c_str());
+        if (v < 0.0 || v > 2.5)
+            fatal("ActivityTrace: activity %g out of range on line %zu",
+                  v, lineno);
+        trace.activity.push_back(v);
+    }
+    if (trace.activity.empty())
+        fatal("ActivityTrace: empty trace");
+    return trace;
+}
+
+TraceCore::TraceCore(ActivityTrace trace, bool loop, double stallThreshold)
+    : trace_(std::move(trace)), loop_(loop),
+      stallThreshold_(stallThreshold)
+{
+    if (trace_.activity.empty())
+        fatal("TraceCore: empty trace");
+}
+
+double
+TraceCore::tick()
+{
+    // An in-flight injected event (recovery / interrupt) overrides
+    // the trace, exactly as it would preempt real execution.
+    if (engine_.inEvent())
+        return engine_.tick(counters_);
+
+    if (done_) {
+        counters_.tickCycle(StallCause::None);
+        return 0.12;
+    }
+
+    const double activity = trace_.activity[position_];
+    if (++position_ >= trace_.activity.size()) {
+        if (loop_)
+            position_ = 0;
+        else
+            done_ = true;
+    }
+
+    // Counter bookkeeping: the trace does not attribute causes, so
+    // low-activity cycles are accounted as generic L2-class stalls.
+    if (activity < stallThreshold_) {
+        counters_.tickCycle(StallCause::L2Miss);
+    } else {
+        counters_.tickCycle(StallCause::None);
+        ipcAccumulator_ += trace_.ipcWhenActive;
+        if (ipcAccumulator_ >= 1.0) {
+            const auto whole =
+                static_cast<std::uint64_t>(ipcAccumulator_);
+            counters_.commitInstructions(whole);
+            ipcAccumulator_ -= static_cast<double>(whole);
+        }
+    }
+    return activity;
+}
+
+void
+TraceCore::injectRecoveryStall(std::uint32_t cycles)
+{
+    counters_.recordEvent(StallCause::Recovery);
+    EventTiming timing;
+    timing.stallCycles = cycles;
+    timing.stallActivity = 0.05;
+    timing.surgeCycles = 16;
+    timing.surgeActivity = 0.95;
+    engine_.beginEvent(StallCause::Recovery, timing);
+}
+
+void
+TraceCore::injectPlatformInterrupt()
+{
+    counters_.recordEvent(StallCause::Exception);
+    engine_.beginEvent(StallCause::Exception, platformInterruptTiming());
+}
+
+bool
+TraceCore::finished() const
+{
+    return done_ && !engine_.inEvent();
+}
+
+} // namespace vsmooth::cpu

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Trace-replay core: drives the PDN from a recorded per-cycle
+ * activity trace instead of a synthetic workload model.
+ *
+ * This is the bring-your-own-data path for downstream users: measure
+ * (or generate elsewhere) a per-cycle activity waveform, load it as a
+ * trace, and study its voltage-noise behaviour on any platform
+ * variant. Stall accounting uses a simple activity threshold so the
+ * scheduler-facing counters stay meaningful.
+ */
+
+#ifndef VSMOOTH_CPU_TRACE_CORE_HH
+#define VSMOOTH_CPU_TRACE_CORE_HH
+
+#include <istream>
+#include <vector>
+
+#include "cpu/core_model.hh"
+#include "cpu/stall_engine.hh"
+
+namespace vsmooth::cpu {
+
+/** A recorded activity trace. */
+struct ActivityTrace
+{
+    /** Per-cycle activity levels in [0, ~1.2]. */
+    std::vector<double> activity;
+    /** IPC attributed to non-stalled cycles (counter bookkeeping). */
+    double ipcWhenActive = 1.5;
+
+    /**
+     * Parse a trace from a stream: one activity value per line;
+     * blank lines and lines starting with '#' are skipped. Fatal on
+     * malformed input or an empty trace.
+     */
+    static ActivityTrace fromStream(std::istream &is);
+};
+
+/** Replays an ActivityTrace as a CoreModel. */
+class TraceCore : public CoreModel
+{
+  public:
+    /**
+     * @param trace the waveform to replay (copied)
+     * @param loop restart from the beginning at the end of the trace
+     * @param stallThreshold cycles with activity below this count as
+     *        stalled in the performance counters
+     */
+    explicit TraceCore(ActivityTrace trace, bool loop = false,
+                       double stallThreshold = 0.3);
+
+    double tick() override;
+    const PerfCounters &counters() const override { return counters_; }
+    void injectRecoveryStall(std::uint32_t cycles) override;
+    void injectPlatformInterrupt() override;
+    bool finished() const override;
+
+    /** Position in the trace (wraps when looping). */
+    std::size_t position() const { return position_; }
+
+  private:
+    ActivityTrace trace_;
+    bool loop_;
+    double stallThreshold_;
+    StallEngine engine_; // services recovery stalls and interrupts
+    PerfCounters counters_;
+    std::size_t position_ = 0;
+    bool done_ = false;
+    double ipcAccumulator_ = 0.0;
+};
+
+} // namespace vsmooth::cpu
+
+#endif // VSMOOTH_CPU_TRACE_CORE_HH

@@ -1,0 +1,58 @@
+#include "droop_detector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vsmooth::noise {
+
+DroopDetector::DroopDetector(double margin, double releaseFactor)
+    : threshold_(-margin), release_(-margin * releaseFactor)
+{
+    if (margin <= 0.0)
+        fatal("DroopDetector: margin must be positive (got %g)", margin);
+    if (releaseFactor < 0.0 || releaseFactor >= 1.0)
+        fatal("DroopDetector: release factor %g outside [0,1)",
+              releaseFactor);
+}
+
+void
+DroopDetector::reset()
+{
+    inEvent_ = false;
+    eventDepth_ = 0.0;
+    deepest_ = 0.0;
+    events_ = 0;
+}
+
+DroopDetectorBank::DroopDetectorBank(const std::vector<double> &margins,
+                                     double releaseFactor)
+{
+    if (margins.empty())
+        fatal("DroopDetectorBank: need at least one margin");
+    std::vector<double> sorted = margins;
+    std::sort(sorted.begin(), sorted.end());
+    detectors_.reserve(sorted.size());
+    for (double m : sorted)
+        detectors_.emplace_back(m, releaseFactor);
+}
+
+std::uint64_t
+DroopDetectorBank::eventCountForMargin(double margin) const
+{
+    for (const auto &d : detectors_) {
+        if (std::abs(d.margin() - margin) < 1e-9)
+            return d.eventCount();
+    }
+    fatal("DroopDetectorBank: margin %g was not configured", margin);
+}
+
+void
+DroopDetectorBank::reset()
+{
+    for (auto &d : detectors_)
+        d.reset();
+}
+
+} // namespace vsmooth::noise

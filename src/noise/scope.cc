@@ -1,0 +1,51 @@
+#include "scope.hh"
+
+namespace vsmooth::noise {
+
+Scope::Scope() : histogram_(-0.25, 0.15, 4000)
+{
+}
+
+double
+Scope::maxDroop() const
+{
+    if (histogram_.totalCount() == 0)
+        return 0.0;
+    const double m = histogram_.minSample();
+    return m < 0.0 ? -m : 0.0;
+}
+
+double
+Scope::maxOvershoot() const
+{
+    if (histogram_.totalCount() == 0)
+        return 0.0;
+    const double m = histogram_.maxSample();
+    return m > 0.0 ? m : 0.0;
+}
+
+double
+Scope::peakToPeak() const
+{
+    if (histogram_.totalCount() == 0)
+        return 0.0;
+    return histogram_.maxSample() - histogram_.minSample();
+}
+
+double
+Scope::visualPeakToPeak(double tailFraction) const
+{
+    if (histogram_.totalCount() == 0)
+        return 0.0;
+    return histogram_.quantile(1.0 - tailFraction) -
+        histogram_.quantile(tailFraction);
+}
+
+double
+Scope::fractionOutside(double band) const
+{
+    return histogram_.fractionBelow(-band) +
+        (1.0 - histogram_.fractionBelow(band));
+}
+
+} // namespace vsmooth::noise

@@ -1,0 +1,38 @@
+#include "trace_writer.hh"
+
+#include "common/logging.hh"
+
+namespace vsmooth::noise {
+
+TraceWriter::TraceWriter(std::size_t capacity) : capacity_(capacity)
+{
+    if (capacity == 0)
+        fatal("TraceWriter: capacity must be positive");
+    samples_.reserve(capacity);
+}
+
+std::vector<TraceSample>
+TraceWriter::chronological() const
+{
+    std::vector<TraceSample> out;
+    out.reserve(samples_.size());
+    if (samples_.size() < capacity_) {
+        out = samples_;
+    } else {
+        for (std::size_t i = 0; i < samples_.size(); ++i)
+            out.push_back(samples_[(head_ + i) % samples_.size()]);
+    }
+    return out;
+}
+
+void
+TraceWriter::writeCsv(std::ostream &os) const
+{
+    os << "cycle,deviation,current_amps\n";
+    for (const auto &s : chronological()) {
+        os << s.cycle << ',' << s.deviation << ',' << s.currentAmps
+           << '\n';
+    }
+}
+
+} // namespace vsmooth::noise

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Waveform trace capture and CSV export.
+ *
+ * The scope histogram compresses away time; for debugging and for
+ * waveform figures (Fig 11-style plots), TraceWriter records a
+ * bounded window of per-cycle samples — voltage deviation, total
+ * current, and per-core activity — and writes them as CSV for
+ * external plotting.
+ */
+
+#ifndef VSMOOTH_NOISE_TRACE_WRITER_HH
+#define VSMOOTH_NOISE_TRACE_WRITER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace vsmooth::noise {
+
+/** One recorded cycle. */
+struct TraceSample
+{
+    Cycles cycle;
+    double deviation;
+    double currentAmps;
+};
+
+/**
+ * Ring-buffered trace recorder: keeps the most recent `capacity`
+ * samples, so it can run alongside arbitrarily long simulations and
+ * still export the interesting window at the end (or be `freeze()`d
+ * the moment something interesting happens).
+ */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(std::size_t capacity = 65536);
+
+    /** Record one cycle (no-op when frozen). */
+    void
+    record(Cycles cycle, double deviation, double currentAmps)
+    {
+        if (frozen_)
+            return;
+        if (samples_.size() < capacity_) {
+            samples_.push_back({cycle, deviation, currentAmps});
+        } else {
+            samples_[head_] = {cycle, deviation, currentAmps};
+            head_ = (head_ + 1) % capacity_;
+        }
+    }
+
+    /** Stop recording; the current window is preserved. */
+    void freeze() { frozen_ = true; }
+    bool frozen() const { return frozen_; }
+
+    /** Number of samples currently held. */
+    std::size_t size() const { return samples_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Samples in chronological order (unwraps the ring). */
+    std::vector<TraceSample> chronological() const;
+
+    /** Write "cycle,deviation,current" CSV (with header). */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    std::size_t capacity_;
+    std::vector<TraceSample> samples_;
+    std::size_t head_ = 0;
+    bool frozen_ = false;
+};
+
+} // namespace vsmooth::noise
+
+#endif // VSMOOTH_NOISE_TRACE_WRITER_HH

@@ -1,0 +1,90 @@
+#include "droop_analysis.hh"
+
+#include <algorithm>
+
+#include "circuit/transient.hh"
+#include "common/logging.hh"
+#include "pdn/ladder.hh"
+
+namespace vsmooth::pdn {
+
+double
+VoltageWaveform::minVoltage() const
+{
+    if (samples.empty())
+        panic("empty waveform");
+    return *std::min_element(samples.begin(), samples.end());
+}
+
+double
+VoltageWaveform::maxVoltage() const
+{
+    if (samples.empty())
+        panic("empty waveform");
+    return *std::max_element(samples.begin(), samples.end());
+}
+
+Seconds
+VoltageWaveform::timeBelow(double fractionOfNominal) const
+{
+    const double threshold = vNominal * fractionOfNominal;
+    std::size_t below = 0;
+    for (double v : samples) {
+        if (v < threshold)
+            ++below;
+    }
+    return Seconds(static_cast<double>(below) * dt.value());
+}
+
+namespace {
+
+/** Run the ladder with a piecewise-constant current schedule. */
+VoltageWaveform
+runSchedule(const PackageConfig &cfg,
+            const std::vector<std::pair<Seconds, Amps>> &phases, Seconds dt)
+{
+    PdnNetwork pdn = buildLadder(cfg, 1);
+    // Establish steady state at the first phase's current before
+    // recording begins.
+    pdn.net.setCurrentSource(pdn.loadSources[0], phases.front().second);
+    circuit::TransientSolver solver(pdn.net, dt);
+
+    VoltageWaveform wf;
+    wf.dt = dt;
+    wf.vNominal = cfg.vddNominal.value();
+
+    for (const auto &[duration, current] : phases) {
+        pdn.net.setCurrentSource(pdn.loadSources[0], current);
+        const auto steps =
+            static_cast<std::size_t>(duration.value() / dt.value());
+        for (std::size_t s = 0; s < steps; ++s) {
+            solver.step();
+            wf.samples.push_back(solver.nodeVoltage(pdn.dieNode));
+        }
+    }
+    return wf;
+}
+
+} // namespace
+
+VoltageWaveform
+simulateReset(const PackageConfig &cfg, const ResetStimulus &stim, Seconds dt)
+{
+    return runSchedule(cfg,
+                       {{Seconds(100e-9), stim.idleCurrent},
+                        {stim.haltDuration, stim.haltCurrent},
+                        {stim.surgeDuration, stim.surgeCurrent},
+                        {stim.tailDuration, stim.idleCurrent}},
+                       dt);
+}
+
+VoltageWaveform
+simulateCurrentStep(const PackageConfig &cfg, Amps iBefore, Amps iAfter,
+                    Seconds duration, Seconds dt)
+{
+    return runSchedule(cfg,
+                       {{Seconds(50e-9), iBefore}, {duration, iAfter}},
+                       dt);
+}
+
+} // namespace vsmooth::pdn

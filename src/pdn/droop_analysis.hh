@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Stimulus-response analyses on the full PDN ladder: the software
+ * analogue of the paper's reset-signal experiment (Figs 5 and 6) and
+ * generic current-step droop measurement.
+ */
+
+#ifndef VSMOOTH_PDN_DROOP_ANALYSIS_HH
+#define VSMOOTH_PDN_DROOP_ANALYSIS_HH
+
+#include <vector>
+
+#include "common/units.hh"
+#include "pdn/package_config.hh"
+
+namespace vsmooth::pdn {
+
+/** A recorded die-voltage waveform. */
+struct VoltageWaveform
+{
+    Seconds dt{0.0};
+    double vNominal = 0.0;
+    std::vector<double> samples;
+
+    double minVoltage() const;
+    double maxVoltage() const;
+    /** Largest droop below nominal, in volts (positive number). */
+    double maxDroop() const { return vNominal - minVoltage(); }
+    /** Largest overshoot above nominal, in volts. */
+    double maxOvershoot() const { return maxVoltage() - vNominal; }
+    double peakToPeak() const { return maxVoltage() - minVoltage(); }
+    /**
+     * Time the waveform spends below the given fraction of nominal
+     * (e.g. 0.95 = more than 5 % droop), as a duration.
+     */
+    Seconds timeBelow(double fractionOfNominal) const;
+};
+
+/**
+ * The reset stimulus of Fig 5: the machine idles, execution halts
+ * (current collapses), then everything restarts at once (inrush
+ * surge). The surge's di/dt excites the PDN resonance.
+ */
+struct ResetStimulus
+{
+    Amps idleCurrent{2.0};
+    Amps haltCurrent{0.3};
+    Amps surgeCurrent{25.0};
+    Seconds haltDuration{80e-9};
+    Seconds surgeDuration{60e-9};
+    /** Settling tail recorded after the surge ends. */
+    Seconds tailDuration{400e-9};
+};
+
+/**
+ * Simulate the reset stimulus against a package configuration using
+ * the full ladder netlist and return the die-voltage waveform.
+ *
+ * @param cfg package electrical model (decapFraction selects ProcN)
+ * @param stim stimulus shape
+ * @param dt transient timestep (default 0.1 ns resolves the ring)
+ */
+VoltageWaveform simulateReset(const PackageConfig &cfg,
+                              const ResetStimulus &stim = {},
+                              Seconds dt = Seconds(0.1e-9));
+
+/**
+ * Simulate a single current step from iBefore to iAfter and record
+ * the response for `duration` after the step.
+ */
+VoltageWaveform simulateCurrentStep(const PackageConfig &cfg, Amps iBefore,
+                                    Amps iAfter, Seconds duration,
+                                    Seconds dt = Seconds(0.1e-9));
+
+} // namespace vsmooth::pdn
+
+#endif // VSMOOTH_PDN_DROOP_ANALYSIS_HH

@@ -1,0 +1,106 @@
+#include "ladder.hh"
+
+#include "common/logging.hh"
+
+namespace vsmooth::pdn {
+
+using circuit::kGround;
+using circuit::NodeId;
+
+PdnNetwork
+buildLadder(const PackageConfig &cfg, std::size_t numCores)
+{
+    if (numCores == 0)
+        fatal("buildLadder: need at least one core");
+
+    PdnNetwork pdn;
+    auto &net = pdn.net;
+
+    // VRM ideal source behind its output impedance.
+    const NodeId vrm_out = net.newNode();
+    pdn.vrmSource = net.addVoltageSource(vrm_out, kGround, cfg.vddNominal,
+                                         "vrm");
+    const NodeId board = net.newNode();
+    const NodeId vrm_mid = net.newNode();
+    net.addResistor(vrm_out, vrm_mid, cfg.rVrm, "r_vrm");
+    net.addInductor(vrm_mid, board, cfg.lVrm, "l_vrm");
+
+    // Bulk capacitor branch: ESL + ESR + C in series to ground.
+    {
+        const NodeId n1 = net.newNode();
+        const NodeId n2 = net.newNode();
+        net.addInductor(board, n1, cfg.eslBulk, "esl_bulk");
+        net.addResistor(n1, n2, cfg.esrBulk, "esr_bulk");
+        net.addCapacitor(n2, kGround, cfg.cBulk, "c_bulk");
+    }
+
+    // Board/socket parasitics to the package node.
+    const NodeId pkg = net.newNode();
+    {
+        const NodeId mid = net.newNode();
+        net.addResistor(board, mid, cfg.rBoard, "r_board");
+        net.addInductor(mid, pkg, cfg.lBoard, "l_board");
+    }
+
+    // Mid-frequency bank at the package node: abstracts the package
+    // plane capacitance plus the many low-ESL ceramics that make the
+    // package node a stiff reservoir at the die-tank resonance, so
+    // the die-side tank (lPackage against the die-rail capacitance)
+    // is the dominant resonance — the single-tank reduction DESIGN.md
+    // describes.
+    if (cfg.cMid.value() > 0.0) {
+        const NodeId n1 = net.newNode();
+        const NodeId n2 = net.newNode();
+        net.addInductor(pkg, n1, cfg.eslMid, "esl_mid");
+        net.addResistor(n1, n2, cfg.esrMid, "esr_mid");
+        net.addCapacitor(n2, kGround, cfg.cMid, "c_mid");
+    }
+
+    // Package loop into the die rail.
+    pdn.dieNode = net.newNode();
+    {
+        const NodeId mid = net.newNode();
+        net.addResistor(pkg, mid, cfg.rPackage, "r_pkg");
+        net.addInductor(mid, pdn.dieNode, cfg.lPackage, "l_pkg");
+    }
+
+    // Package decap branch at the die rail: these capacitors form the
+    // dominant mid/high-frequency tank together with the on-die cap
+    // (single-tank reduction; see DESIGN.md). Scaled by the surviving
+    // fraction f: capacitance scales by f, branch ESR/ESL by 1/f.
+    if (cfg.decapFraction > 0.0) {
+        const double f = cfg.decapFraction;
+        const NodeId n1 = net.newNode();
+        const NodeId n2 = net.newNode();
+        net.addInductor(pdn.dieNode, n1,
+                        Henries(cfg.eslPackage.value() / f), "esl_pkgcap");
+        net.addResistor(n1, n2, Ohms(cfg.esrPackage.value() / f),
+                        "esr_pkgcap");
+        net.addCapacitor(n2, kGround, cfg.cPackage * f, "c_pkgcap");
+    }
+
+    // On-die decoupling.
+    {
+        const NodeId n1 = net.newNode();
+        net.addResistor(pdn.dieNode, n1, cfg.esrDie, "esr_die");
+        net.addCapacitor(n1, kGround, cfg.cDie, "c_die");
+    }
+
+    // Per-core grid resistance and load injection.
+    for (std::size_t c = 0; c < numCores; ++c) {
+        NodeId core_node = pdn.dieNode;
+        if (cfg.rGridPerCore.value() > 0.0) {
+            core_node = net.newNode();
+            net.addResistor(pdn.dieNode, core_node, cfg.rGridPerCore,
+                            "r_grid_core" + std::to_string(c));
+        }
+        pdn.coreNodes.push_back(core_node);
+        pdn.loadSources.push_back(
+            net.addCurrentSource(core_node, kGround, Amps(0.0),
+                                 "i_core" + std::to_string(c)));
+    }
+
+    return pdn;
+}
+
+} // namespace vsmooth::pdn

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Full multi-stage PDN ladder netlist built on the circuit library.
+ *
+ * Topology (per the Intel VRD/package models the paper cites):
+ *
+ *   VRM ideal source --Rvrm--Lvrm--+-- board node
+ *                                  |
+ *                           bulk caps (C+ESR+ESL)
+ *   board node --Rboard--Lboard--+-- package node
+ *                                |
+ *                         package decaps (scaled by decapFraction)
+ *   package node --Rpkg--Lpkg--+-- die rail node
+ *                              |
+ *                        on-die cap (C+ESR)
+ *   die rail --Rgrid--> per-core node (load current source per core)
+ *
+ * The die rail node is the probe point — the software analogue of the
+ * VCCsense pin the paper tapped.
+ */
+
+#ifndef VSMOOTH_PDN_LADDER_HH
+#define VSMOOTH_PDN_LADDER_HH
+
+#include <vector>
+
+#include "circuit/netlist.hh"
+#include "pdn/package_config.hh"
+
+namespace vsmooth::pdn {
+
+/** A constructed PDN network with handles for simulation. */
+struct PdnNetwork
+{
+    circuit::Netlist net;
+    /** Shared die power rail — the VCCsense probe point. */
+    circuit::NodeId dieNode = circuit::kGround;
+    /** Per-core local supply nodes (dieNode when rGrid is 0). */
+    std::vector<circuit::NodeId> coreNodes;
+    /** The VRM output source (value adjustable, e.g. for ripple). */
+    circuit::SourceId vrmSource;
+    /** Per-core load current sources (value = core current draw). */
+    std::vector<circuit::SourceId> loadSources;
+};
+
+/**
+ * Build the ladder netlist for a package configuration.
+ *
+ * @param cfg the electrical model
+ * @param numCores number of per-core load injection points (>= 1)
+ */
+PdnNetwork buildLadder(const PackageConfig &cfg, std::size_t numCores = 1);
+
+} // namespace vsmooth::pdn
+
+#endif // VSMOOTH_PDN_LADDER_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fast second-order PDN model for per-CPU-cycle coupling.
+ *
+ * The dominant voltage-noise dynamics are the mid-frequency resonance
+ * of the package loop inductance against the die-side capacitance
+ * (100-200 MHz in the paper's Fig 4). This class integrates that RLC
+ * tank with a trapezoidal rule at the CPU clock period, so the core
+ * activity model can inject a load current every cycle and read back
+ * the die voltage — tens of nanoseconds of circuit response per cycle
+ * at a few ns of CPU cost.
+ *
+ * State-space form, states x = [iL, vC], with the damping resistance
+ * (capacitor-bank ESR) in the capacitor branch so it damps the ring
+ * without adding DC IR drop:
+ *   diL/dt = (Vdd(t) - vC - (rSeries + rDamp) iL + rDamp iLoad) / L
+ *   dvC/dt = (iL - iLoad) / C
+ *   vDie   = vC + rDamp (iL - iLoad)
+ *
+ * An optional sawtooth VRM ripple modulates Vdd(t), reproducing the
+ * background waveform visible in the paper's Fig 11.
+ */
+
+#ifndef VSMOOTH_PDN_SECOND_ORDER_HH
+#define VSMOOTH_PDN_SECOND_ORDER_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+#include "pdn/package_config.hh"
+
+namespace vsmooth::pdn {
+
+/** Trapezoidal integrator for the reduced RLC supply model. */
+class SecondOrderPdn
+{
+  public:
+    /**
+     * @param params reduced electrical model
+     * @param dt integration step (one CPU clock period)
+     * @param rippleFraction one-sided VRM ripple amplitude / Vdd
+     * @param rippleFrequency VRM switching frequency (ignored if the
+     *        fraction is zero)
+     */
+    SecondOrderPdn(const SecondOrderParams &params, Seconds dt,
+                   double rippleFraction = 0.0,
+                   Hertz rippleFrequency = Hertz(1e6));
+
+    /** Convenience: build from a full package config. */
+    SecondOrderPdn(const PackageConfig &cfg, Seconds dt);
+
+    /**
+     * Advance one timestep with the given load current and return the
+     * die voltage at the end of the step.
+     */
+    double step(double loadAmps);
+
+    /** Die voltage after the last step. */
+    double voltage() const { return vDie_; }
+
+    /** Inductor (supply loop) current after the last step. */
+    double inductorCurrent() const { return iL_; }
+
+    /** Nominal supply voltage. */
+    double vddNominal() const { return vdd_; }
+
+    /** Die voltage as a signed fraction of nominal (0 = nominal). */
+    double voltageDeviation() const { return vDie_ / vdd_ - 1.0; }
+
+    /** Elapsed simulated time. */
+    Seconds time() const { return Seconds(time_); }
+
+    /**
+     * Reset state to the DC operating point for a given steady load.
+     */
+    void reset(double steadyLoadAmps = 0.0);
+
+    /** Resonance frequency of the modeled tank. */
+    Hertz resonanceFrequency() const;
+
+  private:
+    double rippleAt(double t) const;
+
+    double vdd_;
+    double rs_;
+    double rc_;
+    double l_;
+    double c_;
+    double dt_;
+    double rippleAmp_;
+    double ripplePeriod_;
+
+    // Precomputed trapezoidal update:
+    //   x_{n+1} = M * x_n + N * u
+    // with u = [vddEff, iLoad] averaged over the step.
+    double m00_, m01_, m10_, m11_;
+    double n00_, n01_, n10_, n11_;
+
+    double iL_ = 0.0;
+    double vC_ = 0.0;
+    double vDie_ = 0.0;
+    double time_ = 0.0;
+};
+
+} // namespace vsmooth::pdn
+
+#endif // VSMOOTH_PDN_SECOND_ORDER_HH

@@ -1,0 +1,57 @@
+#include "current_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vsmooth::power {
+
+CurrentModel::CurrentModel(const CurrentModelParams &params)
+    : params_(params), previous_(steadyCurrent(0.0))
+{
+    if (params_.leakage.value() < 0.0 || params_.idleClock.value() < 0.0 ||
+        params_.dynamicMax.value() < 0.0) {
+        fatal("CurrentModel: current components must be non-negative");
+    }
+}
+
+double
+CurrentModel::steadyCurrent(double activity) const
+{
+    // Restart bursts can briefly exceed the steady-state activity
+    // ceiling (in-rush above sustained max); allow headroom for them.
+    const double a = std::clamp(activity, 0.0, 2.5);
+    // Clock-gating: the clock tree current shrinks as units gate off;
+    // a small floor remains for the always-on spine.
+    const double clock_current =
+        params_.idleClock.value() * (0.25 + 0.75 * std::min(a, 1.0));
+    return params_.leakage.value() + clock_current +
+        params_.dynamicMax.value() * a;
+}
+
+double
+CurrentModel::currentFor(double activity)
+{
+    double target = steadyCurrent(activity);
+    if (params_.smoothingTauCycles > 0.0) {
+        const double alpha = 1.0 / (1.0 + params_.smoothingTauCycles);
+        target = previous_ + alpha * (target - previous_);
+    }
+    if (params_.maxSlewPerCycle > 0.0) {
+        const double delta = target - previous_;
+        const double limited =
+            std::clamp(delta, -params_.maxSlewPerCycle,
+                       params_.maxSlewPerCycle);
+        target = previous_ + limited;
+    }
+    previous_ = target;
+    return target;
+}
+
+void
+CurrentModel::reset(double activity)
+{
+    previous_ = steadyCurrent(activity);
+}
+
+} // namespace vsmooth::power

@@ -1,0 +1,70 @@
+#include "emergency_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace vsmooth::resilience {
+
+EmergencyPredictor::EmergencyPredictor(
+    const EmergencyPredictorParams &params)
+    : params_(params)
+{
+    if (params.tableBits == 0 || params.tableBits > 24)
+        fatal("EmergencyPredictor: table bits %u outside (0,24]",
+              params.tableBits);
+    if (params.historyLength == 0)
+        fatal("EmergencyPredictor: history length must be positive");
+    confidence_.assign(std::size_t(1) << params.tableBits, 0);
+    mask_ = (1u << params.tableBits) - 1;
+}
+
+std::uint32_t
+EmergencyPredictor::index() const
+{
+    // Fibonacci-hash the rolling signature into the table.
+    return static_cast<std::uint32_t>(
+               (signature_ * 0x9e3779b97f4a7c15ULL) >> 40) &
+        mask_;
+}
+
+void
+EmergencyPredictor::observeEvent(std::size_t core, cpu::StallCause cause)
+{
+    // Fold (core, cause) into the rolling history; the shift width
+    // bounds the effective history length.
+    const auto token =
+        static_cast<std::uint64_t>(cause) * 2 + (core & 1);
+    const std::uint32_t bits_per_event = 4;
+    const std::uint32_t window = params_.historyLength * bits_per_event;
+    signature_ = ((signature_ << bits_per_event) | (token & 0xf)) &
+        ((window >= 64) ? ~std::uint64_t(0)
+                        : ((std::uint64_t(1) << window) - 1));
+
+    // Prediction check on every event arrival (events, not cycles,
+    // are the signature clock).
+    if (confidence_[index()] >= params_.confidenceThreshold &&
+        throttleLeft_ == 0) {
+        throttleLeft_ = params_.throttleCycles;
+        ++predictions_;
+    }
+}
+
+void
+EmergencyPredictor::observeEmergency()
+{
+    auto &ctr = confidence_[index()];
+    if (ctr < 3)
+        ++ctr;
+    ++learned_;
+}
+
+bool
+EmergencyPredictor::shouldThrottle()
+{
+    if (throttleLeft_ == 0)
+        return false;
+    --throttleLeft_;
+    ++throttledCycles_;
+    return true;
+}
+
+} // namespace vsmooth::resilience

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Signature-based voltage-emergency predictor — the hardware baseline
+ * of Reddi et al., HPCA 2009 [29], which the paper's performance
+ * model cites as the 100-cycle recovery design point.
+ *
+ * The mechanism: emergencies are preceded by recurring microarchitec-
+ * tural activity patterns (a flush right after a long-stall refill,
+ * say). The predictor hashes the recent per-core stall-event history
+ * into a *signature*; when an emergency occurs, the current signature
+ * is inserted into a table. When a stored signature recurs, the
+ * predictor fires and execution is throttled for a few cycles —
+ * smoothing the current transient that would have caused the
+ * emergency, at a small throughput cost.
+ */
+
+#ifndef VSMOOTH_RESILIENCE_EMERGENCY_PREDICTOR_HH
+#define VSMOOTH_RESILIENCE_EMERGENCY_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/perf_counters.hh"
+
+namespace vsmooth::resilience {
+
+/** Configuration of the signature predictor. */
+struct EmergencyPredictorParams
+{
+    /** log2 of the signature table size. */
+    std::uint32_t tableBits = 12;
+    /** Events of history folded into a signature. */
+    std::uint32_t historyLength = 8;
+    /** Cycles of throttling issued on a signature hit. */
+    std::uint32_t throttleCycles = 24;
+    /** Saturating-confidence threshold before the predictor fires. */
+    std::uint8_t confidenceThreshold = 2;
+};
+
+/**
+ * Per-chip signature predictor. Observes event starts from every
+ * core, learns the signatures that precede emergencies, and requests
+ * throttling when they recur.
+ */
+class EmergencyPredictor
+{
+  public:
+    explicit EmergencyPredictor(const EmergencyPredictorParams &params = {});
+
+    /**
+     * Record that a stall event of `cause` began on `core` this
+     * cycle. Folds the event into the rolling signature.
+     */
+    void observeEvent(std::size_t core, cpu::StallCause cause);
+
+    /**
+     * Called when the fail-safe detects an actual emergency: learns
+     * the current signature.
+     */
+    void observeEmergency();
+
+    /**
+     * Per-cycle query: should the chip throttle this cycle? Counts
+     * down an armed throttle window.
+     */
+    bool shouldThrottle();
+
+    /** Predictor fired (throttle windows armed) so far. */
+    std::uint64_t predictions() const { return predictions_; }
+    /** Emergencies learned. */
+    std::uint64_t learned() const { return learned_; }
+    /** Cycles spent throttled. */
+    std::uint64_t throttledCycles() const { return throttledCycles_; }
+
+    const EmergencyPredictorParams &params() const { return params_; }
+
+  private:
+    std::uint32_t index() const;
+
+    EmergencyPredictorParams params_;
+    std::vector<std::uint8_t> confidence_;
+    std::uint32_t mask_;
+    std::uint64_t signature_ = 0;
+    std::uint32_t throttleLeft_ = 0;
+    std::uint64_t predictions_ = 0;
+    std::uint64_t learned_ = 0;
+    std::uint64_t throttledCycles_ = 0;
+};
+
+} // namespace vsmooth::resilience
+
+#endif // VSMOOTH_RESILIENCE_EMERGENCY_PREDICTOR_HH

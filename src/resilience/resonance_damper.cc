@@ -1,0 +1,49 @@
+#include "resonance_damper.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vsmooth::resilience {
+
+ResonanceDamper::ResonanceDamper(const ResonanceDamperParams &params)
+    : params_(params)
+{
+    if (params.resonancePeriodCycles < 4)
+        fatal("ResonanceDamper: resonance period must be >= 4 cycles");
+    if (params.triggerAmplitude <= 0.0)
+        fatal("ResonanceDamper: trigger amplitude must be positive");
+}
+
+bool
+ResonanceDamper::feed(double deviation)
+{
+    // Slow mean tracker (well below the resonance frequency).
+    mean_ += (deviation - mean_) / 256.0;
+
+    // Track min/max over half a resonance period; their spread is the
+    // oscillation amplitude at (roughly) the resonance frequency.
+    const double centered = deviation - mean_;
+    halfPeriodMin_ = std::min(halfPeriodMin_, centered);
+    halfPeriodMax_ = std::max(halfPeriodMax_, centered);
+    if (++phase_ >= params_.resonancePeriodCycles / 2) {
+        amplitude_ = halfPeriodMax_ - halfPeriodMin_;
+        halfPeriodMin_ = 0.0;
+        halfPeriodMax_ = 0.0;
+        phase_ = 0;
+        if (amplitude_ > params_.triggerAmplitude &&
+            throttleLeft_ == 0) {
+            throttleLeft_ = params_.throttleCycles;
+            ++triggers_;
+        }
+    }
+
+    if (throttleLeft_ > 0) {
+        --throttleLeft_;
+        ++throttledCycles_;
+        return true;
+    }
+    return false;
+}
+
+} // namespace vsmooth::resilience

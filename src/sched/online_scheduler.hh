@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Online (non-oracle) noise-aware batch scheduler.
+ *
+ * The paper's evaluation is oracle-based, but its motivating
+ * observation (Sec IV-A) is that the stall ratio — a coarse, cheap
+ * hardware counter — predicts voltage-noise behaviour (r = 0.97), so
+ * "high-latency software solutions are applicable to voltage noise."
+ * OnlineScheduler is that deployment story: a batch of jobs runs on
+ * the two cores; at every scheduling interval the scheduler reads the
+ * per-job stall ratios it has observed so far and, when a core frees
+ * up, dispatches the queued job that best balances the chip's noise.
+ *
+ * Policies:
+ *  - Fcfs: dispatch in arrival order (the baseline).
+ *  - StallBalance: pair a high-stall (noisy) runner with the queued
+ *    job of the most dissimilar stall ratio — the online analogue of
+ *    the oracle Droop policy, built purely from performance counters.
+ */
+
+#ifndef VSMOOTH_SCHED_ONLINE_SCHEDULER_HH
+#define VSMOOTH_SCHED_ONLINE_SCHEDULER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "workload/spec_suite.hh"
+
+namespace vsmooth::sched {
+
+/** Online dispatch policies. */
+enum class OnlinePolicy
+{
+    Fcfs,
+    StallBalance,
+};
+
+std::string onlinePolicyName(OnlinePolicy policy);
+
+/** Configuration of an online-scheduling run. */
+struct OnlineConfig
+{
+    sim::SystemConfig system;
+    /** Cycles each job runs before completing. */
+    Cycles jobLength = 400'000;
+    /** Counter-sampling / scheduling decision interval. */
+    Cycles schedulingInterval = 50'000;
+    std::uint64_t seed = 42;
+};
+
+/** Outcome of an online-scheduling run. */
+struct OnlineResult
+{
+    /** Total cycles until the batch drained. */
+    Cycles makespan = 0;
+    /** Emergencies at the configured operating margin. */
+    std::uint64_t emergencies = 0;
+    /** Droops (samples below 2.3 %) per 1K cycles. */
+    double droopsPer1k = 0.0;
+    /** Jobs completed (sanity: equals the batch size). */
+    std::size_t jobsCompleted = 0;
+    /** Stall ratio the scheduler estimated per job, in batch order. */
+    std::vector<double> observedStallRatios;
+};
+
+/**
+ * Run a batch of jobs through a two-core system under a policy.
+ *
+ * @param batch benchmarks to run, one job each
+ * @param cfg run configuration (margin/recovery enable the fail-safe)
+ * @param policy dispatch policy
+ */
+OnlineResult runOnlineBatch(
+    const std::vector<const workload::SpecBenchmark *> &batch,
+    const OnlineConfig &cfg, OnlinePolicy policy);
+
+} // namespace vsmooth::sched
+
+#endif // VSMOOTH_SCHED_ONLINE_SCHEDULER_HH

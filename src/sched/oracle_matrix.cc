@@ -1,0 +1,82 @@
+#include "oracle_matrix.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "cpu/fast_core.hh"
+#include "workload/microbench.hh"
+
+namespace vsmooth::sched {
+
+OracleMatrix::OracleMatrix(
+    const std::vector<workload::SpecBenchmark> &suite,
+    const OracleConfig &cfg)
+    : suite_(suite), cfg_(cfg), n_(suite.size())
+{
+    if (n_ == 0)
+        fatal("OracleMatrix: empty suite");
+    pairs_.resize(n_ * (n_ + 1) / 2);
+    singles_.resize(n_);
+
+    for (std::size_t i = 0; i < n_; ++i) {
+        singles_[i] = measure(i, i, /*idleSecond=*/true);
+        for (std::size_t j = i; j < n_; ++j) {
+            const std::size_t idx = i * n_ - i * (i + 1) / 2 + j;
+            pairs_[idx] = measure(i, j, /*idleSecond=*/false);
+        }
+    }
+}
+
+const PairProfile &
+OracleMatrix::pair(std::size_t i, std::size_t j) const
+{
+    if (i >= n_ || j >= n_)
+        panic("OracleMatrix::pair: index out of range");
+    if (i > j)
+        std::swap(i, j);
+    return pairs_[i * n_ - i * (i + 1) / 2 + j];
+}
+
+PairProfile
+OracleMatrix::measure(std::size_t i, std::size_t j, bool idleSecond)
+{
+    sim::SystemConfig sys_cfg = cfg_.system;
+    sys_cfg.osTickInterval = sim::kCompressedOsTick;
+    sim::System sys(sys_cfg);
+    // Deterministic but distinct seeds per pair and core.
+    const std::uint64_t base =
+        cfg_.seed + 1000003ULL * (i * n_ + j) + (idleSecond ? 7 : 0);
+
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(suite_[i], cfg_.cyclesPerPair, true),
+        base + 1));
+    if (idleSecond) {
+        sys.addCore(std::make_unique<cpu::FastCore>(
+            workload::idleSchedule(1000), base + 2));
+    } else {
+        sys.addCore(std::make_unique<cpu::FastCore>(
+            workload::scheduleFor(suite_[j], cfg_.cyclesPerPair, true),
+            base + 2));
+    }
+    sys.run(cfg_.cyclesPerPair);
+
+    PairProfile profile;
+    profile.droopsPer1k =
+        1000.0 * sys.scope().fractionBelow(-cfg_.droopMargin);
+    profile.ipc = sys.core(0).counters().ipc() +
+        (idleSecond ? 0.0 : sys.core(1).counters().ipc());
+    if (!idleSecond) {
+        // Shared-L2 / memory-bandwidth contention, modeled at the
+        // profile level: two memory-bound programs slow each other
+        // down. This is the effect the paper's IPC (cache-aware)
+        // scheduling policy exploits.
+        const double contention = 0.25 * suite_[i].memoryBoundness *
+            suite_[j].memoryBoundness;
+        profile.ipc *= 1.0 - contention;
+    }
+    profile.emergencies =
+        resilience::profileFromBank(sys.droopBank(), sys.cycles());
+    return profile;
+}
+
+} // namespace vsmooth::sched

@@ -1,0 +1,70 @@
+#include "pass_analysis.hh"
+
+namespace vsmooth::sched {
+
+resilience::EmergencyProfile
+aggregateProfile(const OracleMatrix &matrix)
+{
+    resilience::EmergencyProfile aggregate;
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+        aggregate.merge(matrix.single(i).emergencies);
+        for (std::size_t j = i; j < matrix.size(); ++j)
+            aggregate.merge(matrix.pair(i, j).emergencies);
+    }
+    return aggregate;
+}
+
+bool
+pairPasses(const PairProfile &pair, double margin,
+           std::uint32_t recoveryCost, double expectedPercent,
+           double tolerancePercent)
+{
+    const double imp = resilience::improvementPercent(
+        pair.emergencies, margin, recoveryCost);
+    return imp >= expectedPercent - tolerancePercent;
+}
+
+std::vector<OptimalMarginRow>
+optimalMarginTable(const OracleMatrix &matrix,
+                   const std::vector<std::uint32_t> &costs,
+                   double tolerancePercent)
+{
+    const resilience::EmergencyProfile aggregate =
+        aggregateProfile(matrix);
+
+    std::vector<OptimalMarginRow> table;
+    table.reserve(costs.size());
+    for (std::uint32_t cost : costs) {
+        OptimalMarginRow row;
+        row.recoveryCost = cost;
+        const auto best = resilience::optimalMargin(aggregate, cost);
+        row.optimalMargin = best.margin;
+        row.expectedImprovementPercent = best.improvementPercent;
+
+        int passing = 0;
+        for (std::size_t i = 0; i < matrix.size(); ++i) {
+            if (pairPasses(matrix.specRate(i), best.margin, cost,
+                           best.improvementPercent, tolerancePercent))
+                ++passing;
+        }
+        row.passingSpecRate = passing;
+        table.push_back(row);
+    }
+    return table;
+}
+
+int
+countPassing(const Schedule &schedule, const OracleMatrix &matrix,
+             double margin, std::uint32_t recoveryCost,
+             double expectedPercent, double tolerancePercent)
+{
+    int passing = 0;
+    for (const auto &pair : schedule) {
+        if (pairPasses(matrix.pair(pair.a, pair.b), margin, recoveryCost,
+                       expectedPercent, tolerancePercent))
+            ++passing;
+    }
+    return passing;
+}
+
+} // namespace vsmooth::sched

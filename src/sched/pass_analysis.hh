@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Typical-case "passing schedules" analysis (Table I and Fig 19).
+ *
+ * For each recovery cost, the optimal aggressive margin and its
+ * expected improvement are derived from the aggregate noise profile
+ * of the whole workload population. A co-schedule *passes* if its own
+ * improvement at that margin meets the expectation. The paper shows
+ * that the number of passing SPECrate schedules collapses as recovery
+ * cost grows (Table I), and that noise-aware (Droop) scheduling
+ * recovers many of them, increasingly so at coarse recovery costs
+ * (Fig 19).
+ */
+
+#ifndef VSMOOTH_SCHED_PASS_ANALYSIS_HH
+#define VSMOOTH_SCHED_PASS_ANALYSIS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/policy.hh"
+
+namespace vsmooth::sched {
+
+/** One row of Table I. */
+struct OptimalMarginRow
+{
+    std::uint32_t recoveryCost = 0;
+    double optimalMargin = 0.14;
+    double expectedImprovementPercent = 0.0;
+    /** SPECrate schedules meeting the expectation. */
+    int passingSpecRate = 0;
+};
+
+/**
+ * Aggregate emergency profile over every pair in the matrix plus the
+ * single-core runs — the analogue of the paper's 881-run population.
+ */
+resilience::EmergencyProfile aggregateProfile(const OracleMatrix &matrix);
+
+/**
+ * Does this pair meet the expected improvement at the given margin
+ * and recovery cost?
+ *
+ * @param tolerancePercent slack (percentage points) below the
+ *        expectation that still counts as passing
+ */
+bool pairPasses(const PairProfile &pair, double margin,
+                std::uint32_t recoveryCost, double expectedPercent,
+                double tolerancePercent = 0.0);
+
+/** Compute Table I over a sweep of recovery costs. */
+std::vector<OptimalMarginRow>
+optimalMarginTable(const OracleMatrix &matrix,
+                   const std::vector<std::uint32_t> &costs,
+                   double tolerancePercent = 0.0);
+
+/** Count passing pairs of an arbitrary schedule. */
+int countPassing(const Schedule &schedule, const OracleMatrix &matrix,
+                 double margin, std::uint32_t recoveryCost,
+                 double expectedPercent, double tolerancePercent = 0.0);
+
+} // namespace vsmooth::sched
+
+#endif // VSMOOTH_SCHED_PASS_ANALYSIS_HH

@@ -1,0 +1,135 @@
+#include "policy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vsmooth::sched {
+
+std::string
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Random: return "Random";
+      case PolicyKind::Ipc: return "IPC";
+      case PolicyKind::Droop: return "Droop";
+      case PolicyKind::IpcOverDroopN: return "IPC/Droop^n";
+      default: return "?";
+    }
+}
+
+namespace {
+
+/** Policy score: larger is better. */
+double
+pairScore(const PairProfile &p, PolicyKind kind, double hybridN)
+{
+    switch (kind) {
+      case PolicyKind::Ipc:
+        return p.ipc;
+      case PolicyKind::Droop:
+        return -p.droopsPer1k;
+      case PolicyKind::IpcOverDroopN:
+        return p.ipc / std::pow(std::max(p.droopsPer1k, 1e-6), hybridN);
+      case PolicyKind::Random:
+      default:
+        panic("pairScore: Random has no score");
+    }
+}
+
+} // namespace
+
+Schedule
+buildSchedule(std::vector<std::size_t> pool, const OracleMatrix &matrix,
+              PolicyKind kind, Rng &rng, double hybridN)
+{
+    if (pool.size() % 2 != 0)
+        fatal("buildSchedule: pool size %zu is odd", pool.size());
+    for (std::size_t idx : pool) {
+        if (idx >= matrix.size())
+            fatal("buildSchedule: benchmark index %zu out of range", idx);
+    }
+
+    Schedule schedule;
+    schedule.reserve(pool.size() / 2);
+
+    // Fisher-Yates shuffle: randomizes Random pairing entirely, and
+    // randomizes greedy tie-breaking for the other policies.
+    for (std::size_t i = pool.size(); i > 1; --i)
+        std::swap(pool[i - 1], pool[rng.uniformInt(0, i - 1)]);
+
+    if (kind == PolicyKind::Random) {
+        for (std::size_t i = 0; i + 1 < pool.size(); i += 2)
+            schedule.push_back({pool[i], pool[i + 1]});
+        return schedule;
+    }
+
+    // Greedy maximum-score pairing.
+    std::vector<bool> used(pool.size(), false);
+    for (std::size_t round = 0; round < pool.size() / 2; ++round) {
+        double best = 0.0;
+        std::size_t bi = pool.size(), bj = pool.size();
+        bool have = false;
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            if (used[i])
+                continue;
+            for (std::size_t j = i + 1; j < pool.size(); ++j) {
+                if (used[j])
+                    continue;
+                const double score = pairScore(
+                    matrix.pair(pool[i], pool[j]), kind, hybridN);
+                if (!have || score > best) {
+                    best = score;
+                    bi = i;
+                    bj = j;
+                    have = true;
+                }
+            }
+        }
+        used[bi] = used[bj] = true;
+        schedule.push_back({pool[bi], pool[bj]});
+    }
+    return schedule;
+}
+
+ScheduleMetrics
+evaluateSchedule(const Schedule &schedule, const OracleMatrix &matrix)
+{
+    if (schedule.empty())
+        fatal("evaluateSchedule: empty schedule");
+    ScheduleMetrics m;
+    for (const auto &pair : schedule) {
+        const PairProfile &p = matrix.pair(pair.a, pair.b);
+        m.meanDroopsPer1k += p.droopsPer1k;
+        m.meanIpc += p.ipc;
+    }
+    const auto n = static_cast<double>(schedule.size());
+    m.meanDroopsPer1k /= n;
+    m.meanIpc /= n;
+    return m;
+}
+
+Schedule
+specRateSchedule(const OracleMatrix &matrix)
+{
+    Schedule schedule;
+    schedule.reserve(matrix.size());
+    for (std::size_t i = 0; i < matrix.size(); ++i)
+        schedule.push_back({i, i});
+    return schedule;
+}
+
+NormalizedMetrics
+normalizeAgainstSpecRate(const ScheduleMetrics &metrics,
+                         const OracleMatrix &matrix)
+{
+    const ScheduleMetrics base =
+        evaluateSchedule(specRateSchedule(matrix), matrix);
+    NormalizedMetrics out;
+    out.droops = metrics.meanDroopsPer1k / base.meanDroopsPer1k;
+    out.performance = metrics.meanIpc / base.meanIpc;
+    return out;
+}
+
+} // namespace vsmooth::sched

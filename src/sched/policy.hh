@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Thread-scheduling policies (paper Sec IV-C).
+ *
+ * A batch scheduler pairs jobs from a pool onto the two cores. The
+ * paper compares:
+ *  - Random: arbitrary pairing (the control).
+ *  - Ipc: throughput-aware, maximizes combined IPC (the classic
+ *    contention-aware co-scheduling objective).
+ *  - Droop: voltage-noise-aware, minimizes chip-wide droops — the
+ *    paper's proposal.
+ *  - IpcOverDroopN: the hybrid IPC/Droop^n metric that weighs noise
+ *    by the platform's recovery cost (Sec IV-D).
+ *
+ * Greedy pairing: repeatedly commit the best remaining pair under
+ * the policy's score. The pool is a multiset of benchmark indices;
+ * the paper constrains how often a program repeats, which the caller
+ * controls by the pool's multiplicities.
+ */
+
+#ifndef VSMOOTH_SCHED_POLICY_HH
+#define VSMOOTH_SCHED_POLICY_HH
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sched/oracle_matrix.hh"
+
+namespace vsmooth::sched {
+
+/** One co-scheduled pair of benchmark indices. */
+struct ScheduledPair
+{
+    std::size_t a;
+    std::size_t b;
+};
+
+/** A batch schedule: the list of pairs to run, in order. */
+using Schedule = std::vector<ScheduledPair>;
+
+/** Policy kinds the paper evaluates. */
+enum class PolicyKind
+{
+    Random,
+    Ipc,
+    Droop,
+    IpcOverDroopN,
+};
+
+std::string policyName(PolicyKind kind);
+
+/**
+ * Build a batch schedule from a job pool under a policy.
+ *
+ * @param pool benchmark indices (multiset), even count
+ * @param matrix oracle pair profiles
+ * @param kind pairing objective
+ * @param rng randomness (Random policy and greedy tie-breaks)
+ * @param hybridN the exponent n in IPC/Droop^n (only IpcOverDroopN)
+ */
+Schedule buildSchedule(std::vector<std::size_t> pool,
+                       const OracleMatrix &matrix, PolicyKind kind,
+                       Rng &rng, double hybridN = 1.0);
+
+/** Aggregate metrics of a schedule, averaged over its pairs. */
+struct ScheduleMetrics
+{
+    double meanDroopsPer1k = 0.0;
+    double meanIpc = 0.0;
+};
+
+ScheduleMetrics evaluateSchedule(const Schedule &schedule,
+                                 const OracleMatrix &matrix);
+
+/**
+ * The SPECrate baseline: every benchmark paired with a second copy
+ * of itself (the paper's throughput baseline).
+ */
+Schedule specRateSchedule(const OracleMatrix &matrix);
+
+/** Metrics normalized against the SPECrate baseline (Fig 18 axes). */
+struct NormalizedMetrics
+{
+    /** Droops relative to SPECrate (1.0 = equal; < 1 is better). */
+    double droops = 1.0;
+    /** Throughput relative to SPECrate (> 1 is better). */
+    double performance = 1.0;
+};
+
+NormalizedMetrics normalizeAgainstSpecRate(const ScheduleMetrics &metrics,
+                                           const OracleMatrix &matrix);
+
+} // namespace vsmooth::sched
+
+#endif // VSMOOTH_SCHED_POLICY_HH

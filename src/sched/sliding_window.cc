@@ -1,0 +1,78 @@
+#include "sliding_window.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "cpu/fast_core.hh"
+#include "workload/microbench.hh"
+
+namespace vsmooth::sched {
+
+namespace {
+
+/** Truncate a schedule to its first `cycles` cycles and loop it. */
+cpu::PhaseSchedule
+windowLoop(const cpu::PhaseSchedule &full, Cycles cycles)
+{
+    cpu::PhaseSchedule out;
+    out.loop = true;
+    Cycles remaining = cycles;
+    for (const auto &phase : full.phases) {
+        if (remaining == 0)
+            break;
+        cpu::ActivityPhase p = phase;
+        p.duration = std::min(p.duration, remaining);
+        remaining -= p.duration;
+        out.phases.push_back(p);
+    }
+    if (out.phases.empty())
+        fatal("windowLoop: empty window");
+    return out;
+}
+
+std::vector<double>
+runOnce(const workload::SpecBenchmark &progX,
+        const cpu::PhaseSchedule &coSchedule, Cycles windowCycles,
+        Cycles baseLength, const sim::SystemConfig &cfgIn,
+        std::uint64_t seed)
+{
+    sim::SystemConfig cfg = cfgIn;
+    cfg.enableTimeline = true;
+    cfg.timelineInterval = windowCycles;
+
+    sim::System sys(cfg);
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(progX, baseLength, /*loop=*/false),
+        seed + 1));
+    sys.addCore(std::make_unique<cpu::FastCore>(coSchedule, seed + 2));
+
+    // Run until X completes (core 1 loops forever).
+    while (!sys.core(0).finished())
+        sys.tick();
+    return sys.timelineSeries();
+}
+
+} // namespace
+
+SlidingWindowResult
+slidingWindowExperiment(const workload::SpecBenchmark &progX,
+                        const workload::SpecBenchmark &progY,
+                        Cycles windowCycles, Cycles baseLength,
+                        const sim::SystemConfig &cfg, std::uint64_t seed)
+{
+    SlidingWindowResult result;
+    result.windowCycles = windowCycles;
+
+    const cpu::PhaseSchedule y_window = windowLoop(
+        workload::scheduleFor(progY, baseLength, /*loop=*/false),
+        windowCycles);
+
+    result.coScheduled = runOnce(progX, y_window, windowCycles,
+                                 baseLength, cfg, seed);
+    result.singleCore =
+        runOnce(progX, workload::idleSchedule(1000), windowCycles,
+                baseLength, cfg, seed + 100);
+    return result;
+}
+
+} // namespace vsmooth::sched

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The sliding-window co-scheduling experiment of Fig 16.
+ *
+ * Program X runs to completion on core 0. Core 1 repeatedly runs the
+ * first `windowCycles` of program Y, restarting each time the window
+ * elapses — a convolution of Y's opening window against all of X's
+ * voltage-noise phases. The per-window droop rate exposes where the
+ * combination interferes constructively (droops amplified) or
+ * destructively (droops at or below the single-core level).
+ */
+
+#ifndef VSMOOTH_SCHED_SLIDING_WINDOW_HH
+#define VSMOOTH_SCHED_SLIDING_WINDOW_HH
+
+#include <vector>
+
+#include "sim/system.hh"
+#include "workload/spec_suite.hh"
+
+namespace vsmooth::sched {
+
+/** Result series of the sliding-window experiment. */
+struct SlidingWindowResult
+{
+    /** Window length in cycles (the paper's 60 s, scaled). */
+    Cycles windowCycles = 0;
+    /** Droops/1K cycles per window with both programs running. */
+    std::vector<double> coScheduled;
+    /** Droops/1K cycles per window with X alone (core 1 idle). */
+    std::vector<double> singleCore;
+};
+
+/**
+ * Run the experiment.
+ *
+ * @param progX runs start-to-finish on core 0
+ * @param progY its first windowCycles loop on core 1
+ * @param windowCycles window / measurement interval length
+ * @param baseLength X's run length for relativeLength == 1
+ * @param cfg system configuration (the paper uses Proc3 — future
+ *        node — for the scheduling study)
+ */
+SlidingWindowResult
+slidingWindowExperiment(const workload::SpecBenchmark &progX,
+                        const workload::SpecBenchmark &progY,
+                        Cycles windowCycles, Cycles baseLength,
+                        const sim::SystemConfig &cfg,
+                        std::uint64_t seed = 99);
+
+} // namespace vsmooth::sched
+
+#endif // VSMOOTH_SCHED_SLIDING_WINDOW_HH

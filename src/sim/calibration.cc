@@ -1,0 +1,43 @@
+#include "calibration.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace vsmooth::sim {
+
+std::vector<double>
+defaultMarginSweep()
+{
+    std::vector<double> margins;
+    for (int i = 2; i <= 28; ++i)
+        margins.push_back(static_cast<double>(i) * 0.005);
+    margins.push_back(kIdleMargin);
+    std::sort(margins.begin(), margins.end());
+    return margins;
+}
+
+const std::vector<std::uint32_t> &
+recoveryCostSweep()
+{
+    static const std::vector<std::uint32_t> costs = {1,    10,    100,
+                                                     1000, 10000, 100000};
+    return costs;
+}
+
+const std::vector<double> &
+procDecapFractions()
+{
+    static const std::vector<double> fractions = {1.0, 0.75, 0.5,
+                                                  0.25, 0.03, 0.0};
+    return fractions;
+}
+
+std::string
+procName(double decapFraction)
+{
+    const int pct = static_cast<int>(std::lround(decapFraction * 100.0));
+    return "Proc" + std::to_string(pct);
+}
+
+} // namespace vsmooth::sim

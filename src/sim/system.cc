@@ -1,0 +1,219 @@
+#include "system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vsmooth::sim {
+
+namespace {
+
+std::vector<double>
+marginsOrDefault(const SystemConfig &cfg)
+{
+    return cfg.watchMargins.empty() ? defaultMarginSweep()
+                                    : cfg.watchMargins;
+}
+
+} // namespace
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg),
+      pdn_(cfg.package, toPeriod(cfg.clockFrequency)),
+      bank_(marginsOrDefault(cfg))
+{
+    if (cfg.emergencyMargin > 0.0) {
+        emergencyDetector_.emplace(cfg.emergencyMargin);
+        if (cfg.recoveryCostCycles == 0)
+            fatal("System: emergency margin set but recovery cost is 0");
+    }
+    if (cfg.enableTimeline)
+        timeline_.emplace(cfg.timelineInterval, cfg.timelineMargin);
+    if (cfg.enableTrace)
+        trace_.emplace(cfg.traceCapacity);
+    if (cfg.enableEmergencyPredictor)
+        predictor_.emplace(cfg.predictorParams);
+    if (cfg.enableResonanceDamper)
+        damper_.emplace(cfg.damperParams);
+}
+
+std::size_t
+System::addCore(std::unique_ptr<cpu::CoreModel> core)
+{
+    if (started_)
+        fatal("System: cores must be added before the first tick");
+    cores_.push_back(std::move(core));
+    currents_.emplace_back(cfg_.coreCurrent);
+    lastEventCounts_.emplace_back();
+    return cores_.size() - 1;
+}
+
+void
+System::tick()
+{
+    if (cores_.empty())
+        fatal("System: no cores attached");
+    if (!started_) {
+        started_ = true;
+        // Settle the PDN at the initial combined idle current so the
+        // first samples are not a spurious power-on transient.
+        double idle = 0.0;
+        for (auto &cm : currents_)
+            idle += cm.idleCurrent();
+        pdn_.reset(idle);
+        if (cfg_.splitSupplies) {
+            // Each rail owns an equal share of the decap (and of the
+            // parallel delivery paths, so L and R scale up).
+            auto params = pdn::secondOrderEquivalent(cfg_.package);
+            const double n = static_cast<double>(cores_.size());
+            params.c = params.c / n;
+            params.l = params.l * n;
+            params.rSeries = params.rSeries * n;
+            params.rDamp = params.rDamp * n;
+            rails_.clear();
+            for (std::size_t i = 0; i < cores_.size(); ++i) {
+                rails_.emplace_back(params,
+                                    toPeriod(cfg_.clockFrequency),
+                                    cfg_.package.rippleFraction,
+                                    cfg_.package.rippleFrequency);
+                rails_.back().reset(currents_[i].idleCurrent());
+            }
+        }
+    }
+
+    if (cfg_.osTickInterval > 0) {
+        // Interrupt delivery is staggered across cores (IPI latency,
+        // per-core APIC timers), so one core's restart surge lands
+        // while the other is still running its workload — their
+        // superposition is what couples deep droops to the
+        // co-runner's noise.
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            if ((cycles_ + i * 517) % cfg_.osTickInterval ==
+                cfg_.osTickInterval - 1) {
+                cores_[i]->injectPlatformInterrupt();
+            }
+        }
+    }
+
+    // Mitigation throttle decision for this cycle (evaluated before
+    // the cores advance, from last cycle's observations).
+    bool throttle = false;
+    if (predictor_ && predictor_->shouldThrottle())
+        throttle = true;
+    if (damper_ && damper_->feed(pdn_.voltageDeviation()))
+        throttle = true;
+
+    double total = 0.0;
+    coreCurrents_.resize(cores_.size());
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        double activity = cores_[i]->tick();
+        if (throttle)
+            activity *= cfg_.throttleFactor;
+        coreCurrents_[i] = currents_[i].currentFor(activity);
+        total += coreCurrents_[i];
+    }
+    lastCurrent_ = total;
+
+    // Feed newly started events to the signature predictor.
+    if (predictor_) {
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            const auto &ctr = cores_[i]->counters();
+            for (std::size_t c = 1;
+                 c < cpu::PerfCounters::kNumCauses; ++c) {
+                const auto cause = static_cast<cpu::StallCause>(c);
+                const std::uint64_t n = ctr.eventCount(cause);
+                if (n != lastEventCounts_[i][c]) {
+                    lastEventCounts_[i][c] = n;
+                    predictor_->observeEvent(i, cause);
+                }
+            }
+        }
+    }
+
+    double dev;
+    if (cfg_.splitSupplies) {
+        // Step each rail with its own core's current; the chip-level
+        // deviation sample is the worst rail (a violation anywhere
+        // forces a global recovery).
+        double worst = 1e9;
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            rails_[i].step(coreCurrents_[i]);
+            worst = std::min(worst, rails_[i].voltageDeviation());
+        }
+        pdn_.step(total); // keep the shared-rail view in sync too
+        dev = worst;
+    } else {
+        pdn_.step(total);
+        dev = pdn_.voltageDeviation();
+    }
+
+    scope_.record(dev);
+    bank_.feed(dev);
+    if (timeline_)
+        timeline_->feed(dev);
+    if (trace_)
+        trace_->record(cycles_, dev, total);
+
+    if (emergencyDetector_ && emergencyDetector_->feed(dev)) {
+        ++emergencies_;
+        if (predictor_)
+            predictor_->observeEmergency();
+        for (auto &core : cores_)
+            core->injectRecoveryStall(cfg_.recoveryCostCycles);
+    }
+
+    ++cycles_;
+}
+
+void
+System::run(Cycles n)
+{
+    for (Cycles i = 0; i < n; ++i)
+        tick();
+}
+
+Cycles
+System::runUntilFinished(Cycles maxCycles)
+{
+    Cycles executed = 0;
+    while (executed < maxCycles) {
+        bool all_done = true;
+        for (const auto &core : cores_) {
+            if (!core->finished()) {
+                all_done = false;
+                break;
+            }
+        }
+        if (all_done)
+            break;
+        tick();
+        ++executed;
+    }
+    return executed;
+}
+
+const std::vector<double> &
+System::timelineSeries()
+{
+    if (!timeline_)
+        fatal("System: timeline was not enabled");
+    return timeline_->finish();
+}
+
+const noise::TraceWriter &
+System::trace() const
+{
+    if (!trace_)
+        fatal("System: trace was not enabled");
+    return *trace_;
+}
+
+noise::TraceWriter &
+System::trace()
+{
+    if (!trace_)
+        fatal("System: trace was not enabled");
+    return *trace_;
+}
+
+} // namespace vsmooth::sim

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The top-level simulated system: N cores, their current models, the
+ * shared PDN, and the measurement instrumentation (scope, droop
+ * detector bank, timeline) — the software twin of the paper's probed
+ * Core 2 Duo platform.
+ *
+ * Every cycle:
+ *   1. each core advances and reports its activity,
+ *   2. the current models convert activity to amps,
+ *   3. the summed current steps the PDN and yields the die voltage,
+ *   4. the instrumentation records the voltage deviation,
+ *   5. if an operating margin and recovery cost are configured, a
+ *      violation triggers a *chip-wide* rollback stall on all cores
+ *      (a shared supply means a global recovery — Sec III-C).
+ */
+
+#ifndef VSMOOTH_SIM_SYSTEM_HH
+#define VSMOOTH_SIM_SYSTEM_HH
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cpu/core_model.hh"
+#include "noise/droop_detector.hh"
+#include "resilience/emergency_predictor.hh"
+#include "resilience/resonance_damper.hh"
+#include "noise/scope.hh"
+#include "noise/timeline.hh"
+#include "noise/trace_writer.hh"
+#include "pdn/package_config.hh"
+#include "pdn/second_order.hh"
+#include "power/current_model.hh"
+#include "sim/calibration.hh"
+
+namespace vsmooth::sim {
+
+/** Configuration of a System. */
+struct SystemConfig
+{
+    pdn::PackageConfig package = pdn::PackageConfig::core2duo();
+    Hertz clockFrequency{kClockHz};
+    power::CurrentModelParams coreCurrent{};
+
+    /**
+     * Split per-core supplies instead of one connected rail. The
+     * paper's footnote 3 (and James et al., ISSCC 2007 [1]) reports
+     * that split supplies see *larger* swings: each rail gets only
+     * its share of the decap and loses the cross-core averaging of a
+     * shared rail. Modeled by giving each core its own tank with
+     * 1/numCores of the capacitance.
+     */
+    bool splitSupplies = false;
+
+    /** Margins watched by the detector bank (default: full sweep). */
+    std::vector<double> watchMargins;
+
+    /**
+     * Online resiliency: when emergencyMargin > 0, a droop past it
+     * triggers a recovery of recoveryCostCycles on every core.
+     */
+    double emergencyMargin = 0.0;
+    std::uint32_t recoveryCostCycles = 0;
+
+    /**
+     * Hardware noise-mitigation baselines (the schemes the paper's
+     * software scheduler is positioned against). When enabled, a
+     * throttle request scales every core's activity for that cycle,
+     * smoothing the current transient.
+     */
+    bool enableEmergencyPredictor = false;
+    resilience::EmergencyPredictorParams predictorParams{};
+    bool enableResonanceDamper = false;
+    resilience::ResonanceDamperParams damperParams{};
+    /** Activity multiplier applied while a mitigation throttles. */
+    double throttleFactor = 0.6;
+
+    /**
+     * OS timer-tick interval in cycles (0 disables). Every interval,
+     * all cores take a synchronized platform interrupt — the source
+     * of rare chip-wide deep droops. Defaults to the real 1 kHz tick
+     * at 1.86 GHz; time-compressed population studies shorten it so
+     * a scaled-down run sees a representative number of ticks
+     * (kCompressedOsTick).
+     */
+    Cycles osTickInterval = 1'860'000;
+
+    /** Optional waveform trace (ring buffer of recent cycles). */
+    bool enableTrace = false;
+    std::size_t traceCapacity = 65536;
+
+    /** Optional droop-rate timeline (Fig 14-style series). */
+    bool enableTimeline = false;
+    Cycles timelineInterval = 100'000;
+    double timelineMargin = kIdleMargin;
+};
+
+/** Multi-core system simulation. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    /**
+     * Attach a core. All cores must be added before the first tick.
+     * @return the core's index
+     */
+    std::size_t addCore(std::unique_ptr<cpu::CoreModel> core);
+
+    /** Advance the whole system one clock cycle. */
+    void tick();
+
+    /** Advance n cycles. */
+    void run(Cycles n);
+
+    /**
+     * Run until every core's workload finishes or maxCycles elapse.
+     * @return cycles executed
+     */
+    Cycles runUntilFinished(Cycles maxCycles);
+
+    std::size_t numCores() const { return cores_.size(); }
+    cpu::CoreModel &core(std::size_t i) { return *cores_.at(i); }
+    const cpu::CoreModel &core(std::size_t i) const
+    { return *cores_.at(i); }
+
+    Cycles cycles() const { return cycles_; }
+    /** Die voltage after the last tick. */
+    double dieVoltage() const { return pdn_.voltage(); }
+    /** Signed deviation of die voltage from nominal. */
+    double deviation() const { return pdn_.voltageDeviation(); }
+    /** Total chip current of the last tick. */
+    double totalCurrent() const { return lastCurrent_; }
+
+    const noise::Scope &scope() const { return scope_; }
+    const noise::DroopDetectorBank &droopBank() const { return bank_; }
+    /** Timeline series (only if enabled; finishes the last interval). */
+    const std::vector<double> &timelineSeries();
+
+    /** Waveform trace (only if enabled; fatal otherwise). */
+    const noise::TraceWriter &trace() const;
+    noise::TraceWriter &trace();
+
+    /** Emergencies triggered at the configured operating margin. */
+    std::uint64_t emergencies() const { return emergencies_; }
+
+    /** The signature predictor, if enabled (nullptr otherwise). */
+    const resilience::EmergencyPredictor *predictor() const
+    { return predictor_ ? &*predictor_ : nullptr; }
+    /** The resonance damper, if enabled (nullptr otherwise). */
+    const resilience::ResonanceDamper *damper() const
+    { return damper_ ? &*damper_ : nullptr; }
+
+    const SystemConfig &config() const { return cfg_; }
+
+  private:
+    SystemConfig cfg_;
+    pdn::SecondOrderPdn pdn_;
+    /** Per-core rails when splitSupplies is set (built lazily at the
+     *  first tick, once the core count is known). */
+    std::vector<pdn::SecondOrderPdn> rails_;
+    std::vector<std::unique_ptr<cpu::CoreModel>> cores_;
+    std::vector<power::CurrentModel> currents_;
+    noise::Scope scope_;
+    noise::DroopDetectorBank bank_;
+    std::optional<noise::DroopDetector> emergencyDetector_;
+    std::optional<noise::NoiseTimeline> timeline_;
+    std::optional<noise::TraceWriter> trace_;
+    std::optional<resilience::EmergencyPredictor> predictor_;
+    std::optional<resilience::ResonanceDamper> damper_;
+    /** Last-seen per-core event counts (for predictor event feed). */
+    std::vector<std::array<std::uint64_t, cpu::PerfCounters::kNumCauses>>
+        lastEventCounts_;
+    std::uint64_t emergencies_ = 0;
+    Cycles cycles_ = 0;
+    std::vector<double> coreCurrents_;
+    double lastCurrent_ = 0.0;
+    bool started_ = false;
+};
+
+} // namespace vsmooth::sim
+
+#endif // VSMOOTH_SIM_SYSTEM_HH

@@ -1,0 +1,50 @@
+#include "ring_oscillator.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vsmooth::tech {
+
+RingOscillator::RingOscillator(Volts vth, double alpha, int stages)
+    : vth_(vth), alpha_(alpha), stages_(stages)
+{
+    if (vth_.value() <= 0.0)
+        fatal("RingOscillator: Vth must be positive");
+    if (alpha_ < 1.0 || alpha_ > 2.0)
+        fatal("RingOscillator: alpha %g outside the physical [1,2] range",
+              alpha_);
+    if (stages_ < 3 || stages_ % 2 == 0)
+        fatal("RingOscillator: need an odd stage count >= 3 (got %d)",
+              stages_);
+}
+
+double
+RingOscillator::frequencyAt(Volts vdd) const
+{
+    const double v = vdd.value();
+    const double vth = vth_.value();
+    if (v <= vth)
+        return 0.0;
+    // Stage delay ∝ C * V / Idsat, Idsat ∝ (V - Vth)^alpha; the ring
+    // period is 2 * stages * delay — a constant factor, kept so the
+    // absolute number is interpretable.
+    const double stage_rate = std::pow(v - vth, alpha_) / v;
+    return stage_rate / (2.0 * static_cast<double>(stages_));
+}
+
+double
+RingOscillator::peakFrequencyPercent(Volts vddNominal, double margin) const
+{
+    if (margin < 0.0 || margin >= 1.0)
+        fatal("margin %g outside [0,1)", margin);
+    const double f_nom = frequencyAt(vddNominal);
+    if (f_nom <= 0.0)
+        fatal("nominal supply %g V does not oscillate",
+              vddNominal.value());
+    const double f_margin =
+        frequencyAt(Volts(vddNominal.value() * (1.0 - margin)));
+    return 100.0 * f_margin / f_nom;
+}
+
+} // namespace vsmooth::tech

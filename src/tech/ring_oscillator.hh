@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ring-oscillator circuit-delay model (paper footnote 2).
+ *
+ * The paper derives its margin-to-frequency curves (Fig 2) from
+ * circuit simulation of an 11-stage fanout-of-4 inverter ring across
+ * PTM technology nodes. We model the same structure with the
+ * alpha-power-law MOSFET delay model (Sakurai-Newton):
+ *
+ *   f(V) ∝ (V - Vth)^alpha / V
+ *
+ * which captures the key effect the paper highlights: circuit delay
+ * becomes dramatically more sensitive to supply voltage as Vdd scales
+ * down toward Vth, so the same percentage margin costs more frequency
+ * in later nodes.
+ */
+
+#ifndef VSMOOTH_TECH_RING_OSCILLATOR_HH
+#define VSMOOTH_TECH_RING_OSCILLATOR_HH
+
+#include "common/units.hh"
+
+namespace vsmooth::tech {
+
+/** Alpha-power-law ring oscillator. */
+class RingOscillator
+{
+  public:
+    /**
+     * @param vth threshold voltage (roughly constant across nodes)
+     * @param alpha velocity-saturation exponent (~1.4 in scaled CMOS)
+     * @param stages number of inverter stages (11 in the paper)
+     */
+    explicit RingOscillator(Volts vth = Volts(0.35), double alpha = 1.4,
+                            int stages = 11);
+
+    /**
+     * Oscillation frequency at a supply voltage, in arbitrary units
+     * (only ratios are meaningful). Returns 0 at or below Vth.
+     */
+    double frequencyAt(Volts vdd) const;
+
+    /**
+     * Frequency at (1 - margin) * vddNominal as a percentage of the
+     * frequency at vddNominal — the y-axis of the paper's Fig 2.
+     */
+    double peakFrequencyPercent(Volts vddNominal, double margin) const;
+
+    Volts vth() const { return vth_; }
+    double alpha() const { return alpha_; }
+    int stages() const { return stages_; }
+
+  private:
+    Volts vth_;
+    double alpha_;
+    int stages_;
+};
+
+} // namespace vsmooth::tech
+
+#endif // VSMOOTH_TECH_RING_OSCILLATOR_HH

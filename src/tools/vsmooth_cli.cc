@@ -1,0 +1,292 @@
+/**
+ * @file
+ * vsmooth — command-line driver for the simulation stack.
+ *
+ * A downstream user's entry point: run any workload combination on
+ * any platform variant and get the noise characterization, the
+ * resilient-design analysis, or a raw waveform trace without writing
+ * C++.
+ *
+ * Usage:
+ *   vsmooth run [options] <benchmark> [benchmark2]
+ *   vsmooth list
+ *   vsmooth impedance [--decap F]
+ *   vsmooth reset-droop [--decap F]
+ *
+ * Options for `run`:
+ *   --decap F        package decap fraction (1.0 = Proc100, default)
+ *   --cycles N       cycles to simulate (default 2000000)
+ *   --margin M       operating margin fraction; enables the fail-safe
+ *   --recovery N     recovery cost in cycles (with --margin)
+ *   --predictor      enable the signature emergency predictor
+ *   --damper         enable resonance-aware throttling
+ *   --split          split per-core supplies
+ *   --trace FILE     write a CSV waveform trace of the last 64K cycles
+ *   --seed S         RNG seed
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/ac.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "cpu/fast_core.hh"
+#include "pdn/droop_analysis.hh"
+#include "pdn/ladder.hh"
+#include "resilience/perf_model.hh"
+#include "sim/system.hh"
+#include "workload/microbench.hh"
+#include "workload/parsec.hh"
+#include "workload/spec_suite.hh"
+
+using namespace vsmooth;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage:\n"
+           "  vsmooth run [options] <benchmark> [benchmark2]\n"
+           "  vsmooth list\n"
+           "  vsmooth impedance [--decap F]\n"
+           "  vsmooth reset-droop [--decap F]\n"
+           "run options: --decap F --cycles N --margin M --recovery N\n"
+           "             --predictor --damper --split --trace FILE"
+           " --seed S\n";
+    std::exit(2);
+}
+
+double
+parseDouble(const char *value, const char *flag)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value, &end);
+    if (end == value || *end != '\0')
+        fatal("bad value '%s' for %s", value, flag);
+    return v;
+}
+
+int
+cmdList()
+{
+    TextTable spec("SPEC CPU2006 workloads");
+    spec.setHeader({"name", "stall ratio", "memory-bound", "IPC",
+                    "phases"});
+    for (const auto &b : workload::specCpu2006()) {
+        const char *pattern =
+            b.pattern == workload::PhasePattern::Flat ? "flat"
+            : b.pattern == workload::PhasePattern::Steps ? "steps"
+                                                         : "oscillating";
+        spec.addRow({b.name, TextTable::num(b.stallRatio, 2),
+                     TextTable::num(b.memoryBoundness, 2),
+                     TextTable::num(b.ipcRunning, 2), pattern});
+    }
+    spec.print(std::cout);
+
+    TextTable parsec("PARSEC workloads (multi-threaded)");
+    parsec.setHeader({"name", "stall ratio", "memory-bound", "IPC"});
+    for (const auto &b : workload::parsecSuite()) {
+        parsec.addRow({b.name, TextTable::num(b.stallRatio, 2),
+                       TextTable::num(b.memoryBoundness, 2),
+                       TextTable::num(b.ipcRunning, 2)});
+    }
+    std::cout << "\n";
+    parsec.print(std::cout);
+    return 0;
+}
+
+int
+cmdImpedance(double decap)
+{
+    const auto cfg =
+        pdn::PackageConfig::core2duo().withDecapFraction(decap);
+    auto net = pdn::buildLadder(cfg, 1);
+    const auto sweep = circuit::impedanceSweep(net.net, net.dieNode,
+                                               Hertz(1e6), Hertz(500e6),
+                                               40);
+    TextTable t("impedance, decap fraction " + TextTable::num(decap, 2));
+    t.setHeader({"freq (MHz)", "|Z| (mOhm)"});
+    for (const auto &p : sweep)
+        t.addRow({TextTable::num(p.frequencyHz / 1e6, 2),
+                  TextTable::num(p.magnitude() * 1e3, 3)});
+    t.print(std::cout);
+    const auto peak = circuit::resonancePeak(sweep);
+    std::cout << "resonance: " << TextTable::num(peak.frequencyHz / 1e6, 0)
+              << " MHz, " << TextTable::num(peak.magnitude() * 1e3, 2)
+              << " mOhm\n";
+    return 0;
+}
+
+int
+cmdResetDroop(double decap)
+{
+    const auto cfg =
+        pdn::PackageConfig::core2duo().withDecapFraction(decap);
+    const auto wf = pdn::simulateReset(cfg);
+    std::cout << "decap fraction " << TextTable::num(decap, 2)
+              << ": droop " << TextTable::num(wf.maxDroop() * 1e3, 1)
+              << " mV, overshoot "
+              << TextTable::num(wf.maxOvershoot() * 1e3, 1)
+              << " mV, p2p " << TextTable::num(wf.peakToPeak() * 1e3, 1)
+              << " mV\n";
+    return 0;
+}
+
+struct RunOptions
+{
+    double decap = 1.0;
+    Cycles cycles = 2'000'000;
+    double margin = 0.0;
+    std::uint32_t recovery = 0;
+    bool predictor = false;
+    bool damper = false;
+    bool split = false;
+    std::string traceFile;
+    std::uint64_t seed = 1;
+    std::vector<std::string> benchmarks;
+};
+
+int
+cmdRun(const RunOptions &opt)
+{
+    if (opt.benchmarks.empty() || opt.benchmarks.size() > 2)
+        fatal("run takes one or two benchmark names");
+
+    sim::SystemConfig cfg;
+    cfg.package =
+        pdn::PackageConfig::core2duo().withDecapFraction(opt.decap);
+    cfg.enableTrace = !opt.traceFile.empty();
+    cfg.splitSupplies = opt.split;
+    cfg.enableEmergencyPredictor = opt.predictor;
+    cfg.enableResonanceDamper = opt.damper;
+    if (opt.margin > 0.0) {
+        cfg.emergencyMargin = opt.margin;
+        cfg.recoveryCostCycles = opt.recovery > 0 ? opt.recovery : 1000;
+    }
+
+    sim::System sys(cfg);
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(workload::specByName(opt.benchmarks[0]),
+                              opt.cycles, true),
+        opt.seed + 1));
+    if (opt.benchmarks.size() == 2) {
+        sys.addCore(std::make_unique<cpu::FastCore>(
+            workload::scheduleFor(
+                workload::specByName(opt.benchmarks[1]), opt.cycles,
+                true),
+            opt.seed + 2));
+    } else {
+        sys.addCore(std::make_unique<cpu::FastCore>(
+            workload::idleSchedule(1000), opt.seed + 2));
+    }
+    sys.run(opt.cycles);
+
+    TextTable t("vsmooth run");
+    t.setHeader({"metric", "value"});
+    t.addRow({"cycles", TextTable::num(sys.cycles())});
+    t.addRow({"max droop (%)",
+              TextTable::num(sys.scope().maxDroop() * 100, 2)});
+    t.addRow({"max overshoot (%)",
+              TextTable::num(sys.scope().maxOvershoot() * 100, 2)});
+    t.addRow({"droops/1K cycles (2.3%)",
+              TextTable::num(1000.0 * sys.scope().fractionBelow(-0.023),
+                             1)});
+    t.addRow({"samples beyond +/-4% (%)",
+              TextTable::num(sys.scope().fractionOutside(0.04) * 100,
+                             4)});
+    for (std::size_t c = 0; c < sys.numCores(); ++c) {
+        t.addRow({"core" + TextTable::num(static_cast<int>(c)) + " IPC",
+                  TextTable::num(sys.core(c).counters().ipc(), 2)});
+        t.addRow({"core" + TextTable::num(static_cast<int>(c)) +
+                      " stall ratio",
+                  TextTable::num(sys.core(c).counters().stallRatio(),
+                                 2)});
+    }
+    if (opt.margin > 0.0)
+        t.addRow({"emergencies", TextTable::num(sys.emergencies())});
+    if (sys.predictor()) {
+        t.addRow({"predictor throttled cycles",
+                  TextTable::num(sys.predictor()->throttledCycles())});
+    }
+    if (sys.damper()) {
+        t.addRow({"damper throttled cycles",
+                  TextTable::num(sys.damper()->throttledCycles())});
+    }
+    t.print(std::cout);
+
+    if (!opt.traceFile.empty()) {
+        std::ofstream out(opt.traceFile);
+        if (!out)
+            fatal("cannot open trace file '%s'", opt.traceFile.c_str());
+        sys.trace().writeCsv(out);
+        std::cout << "trace written to " << opt.traceFile << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string cmd = argv[1];
+
+    if (cmd == "list")
+        return cmdList();
+
+    double decap = 1.0;
+    RunOptions opt;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--decap") {
+            decap = opt.decap = parseDouble(next(), "--decap");
+        } else if (arg == "--cycles") {
+            opt.cycles = static_cast<Cycles>(
+                parseDouble(next(), "--cycles"));
+        } else if (arg == "--margin") {
+            opt.margin = parseDouble(next(), "--margin");
+        } else if (arg == "--recovery") {
+            opt.recovery = static_cast<std::uint32_t>(
+                parseDouble(next(), "--recovery"));
+        } else if (arg == "--predictor") {
+            opt.predictor = true;
+        } else if (arg == "--damper") {
+            opt.damper = true;
+        } else if (arg == "--split") {
+            opt.split = true;
+        } else if (arg == "--trace") {
+            opt.traceFile = next();
+        } else if (arg == "--seed") {
+            opt.seed = static_cast<std::uint64_t>(
+                parseDouble(next(), "--seed"));
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+        } else {
+            opt.benchmarks.push_back(arg);
+        }
+    }
+
+    if (cmd == "impedance")
+        return cmdImpedance(decap);
+    if (cmd == "reset-droop")
+        return cmdResetDroop(decap);
+    if (cmd == "run")
+        return cmdRun(opt);
+    usage();
+}

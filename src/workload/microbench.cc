@@ -1,0 +1,251 @@
+#include "microbench.hh"
+
+#include "common/logging.hh"
+
+namespace vsmooth::workload {
+
+using cpu::Addr;
+using cpu::InstructionSource;
+using cpu::SyntheticInstruction;
+
+std::string_view
+microbenchName(MicrobenchKind kind)
+{
+    switch (kind) {
+      case MicrobenchKind::PowerVirus: return "VIRUS";
+      case MicrobenchKind::L1Miss: return "L1";
+      case MicrobenchKind::L2Miss: return "L2";
+      case MicrobenchKind::TlbMiss: return "TLB";
+      case MicrobenchKind::BranchMispredict: return "BR";
+      case MicrobenchKind::Exception: return "EXCP";
+      default: return "?";
+    }
+}
+
+namespace {
+
+/** Base for looping streams: rotates PCs through a small code region. */
+class LoopStreamBase : public InstructionSource
+{
+  protected:
+    Addr
+    nextPc()
+    {
+        pc_ += 4;
+        if (pc_ >= 0x1000 + 4 * 256)
+            pc_ = 0x1000;
+        return pc_;
+    }
+
+  private:
+    Addr pc_ = 0x1000;
+};
+
+/** CPUBurn: dense ALU work with perfectly predictable loop control. */
+class PowerVirusStream : public LoopStreamBase
+{
+  public:
+    SyntheticInstruction
+    next() override
+    {
+        SyntheticInstruction instr;
+        instr.pc = nextPc();
+        if (++count_ % 16 == 0) {
+            instr.isBranch = true;
+            instr.branchTaken = true; // loop backedge, learned quickly
+            instr.pc = 0x2000;        // fixed branch PC
+        }
+        return instr;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+};
+
+/** Strided loads with `aluPerLoad` fillers between loads. */
+class StridedLoadStream : public LoopStreamBase
+{
+  public:
+    StridedLoadStream(Addr base, Addr strideBytes, std::uint64_t footprint,
+                      unsigned aluPerLoad, Addr setSpreadStride = 0)
+        : base_(base), stride_(strideBytes), footprint_(footprint),
+          aluPerLoad_(aluPerLoad), setSpread_(setSpreadStride)
+    {
+    }
+
+    SyntheticInstruction
+    next() override
+    {
+        SyntheticInstruction instr;
+        instr.pc = nextPc();
+        if (sinceLoad_ >= aluPerLoad_) {
+            sinceLoad_ = 0;
+            instr.isMemory = true;
+            instr.memAddr = base_ + offset_;
+            if (setSpread_ != 0)
+                instr.memAddr += (index_ % 64) * setSpread_;
+            offset_ += stride_;
+            ++index_;
+            if (offset_ >= footprint_) {
+                offset_ = 0;
+                index_ = 0;
+            }
+        } else {
+            ++sinceLoad_;
+        }
+        return instr;
+    }
+
+  private:
+    Addr base_;
+    Addr stride_;
+    std::uint64_t footprint_;
+    unsigned aluPerLoad_;
+    Addr setSpread_;
+    Addr offset_ = 0;
+    std::uint64_t index_ = 0;
+    unsigned sinceLoad_ = 0;
+};
+
+/** Data-dependent random branches: gshare cannot learn them. */
+class RandomBranchStream : public LoopStreamBase
+{
+  public:
+    RandomBranchStream(std::uint64_t seed, unsigned instrsPerBranch)
+        : rng_(seed), instrsPerBranch_(instrsPerBranch)
+    {
+    }
+
+    SyntheticInstruction
+    next() override
+    {
+        SyntheticInstruction instr;
+        instr.pc = nextPc();
+        if (++count_ % instrsPerBranch_ == 0) {
+            instr.isBranch = true;
+            instr.branchTaken = rng_.bernoulli(0.5);
+        }
+        return instr;
+    }
+
+  private:
+    Rng rng_;
+    unsigned instrsPerBranch_;
+    std::uint64_t count_ = 0;
+};
+
+/** Periodic architectural exceptions. */
+class ExceptionStream : public LoopStreamBase
+{
+  public:
+    explicit ExceptionStream(std::uint64_t instrsPerException)
+        : period_(instrsPerException)
+    {
+    }
+
+    SyntheticInstruction
+    next() override
+    {
+        SyntheticInstruction instr;
+        instr.pc = nextPc();
+        if (++count_ % period_ == 0)
+            instr.raisesException = true;
+        return instr;
+    }
+
+  private:
+    std::uint64_t period_;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<InstructionSource>
+makeMicrobenchmark(MicrobenchKind kind, std::uint64_t seed)
+{
+    switch (kind) {
+      case MicrobenchKind::PowerVirus:
+        return std::make_unique<PowerVirusStream>();
+      case MicrobenchKind::L1Miss:
+        // 256 KiB footprint: misses L1 (32 KiB) every line, hits L2.
+        return std::make_unique<StridedLoadStream>(
+            Addr(0x10000000), 64, 256 * 1024, 10);
+      case MicrobenchKind::L2Miss:
+        // 16 MiB footprint: misses the 2 MiB L2 every line.
+        return std::make_unique<StridedLoadStream>(
+            Addr(0x20000000), 64, 16ull * 1024 * 1024, 24);
+      case MicrobenchKind::TlbMiss:
+        // 384 pages (> 256 TLB entries) but only 384 distinct lines
+        // spread over the L1 sets, so data stays L1-resident and the
+        // page walk is the only event.
+        return std::make_unique<StridedLoadStream>(
+            Addr(0x40000000), 4096, 384ull * 4096, 12, /*setSpread=*/64);
+      case MicrobenchKind::BranchMispredict:
+        return std::make_unique<RandomBranchStream>(seed, 44);
+      case MicrobenchKind::Exception:
+        return std::make_unique<ExceptionStream>(700);
+      default:
+        panic("unknown microbenchmark kind");
+    }
+}
+
+cpu::PhaseSchedule
+microbenchmarkSchedule(MicrobenchKind kind, Cycles duration)
+{
+    cpu::ActivityPhase phase;
+    phase.duration = duration;
+    phase.baseActivity = 0.95;
+    phase.activityJitter = 0.01;
+    phase.ipcWhenRunning = 3.2;
+
+    // Event rates per 1000 *running* cycles (the FastCore event
+    // process only advances while running), matched to the loop
+    // arithmetic of the detailed streams: rate = 1000 / gap where
+    // gap = issueCycles between events.
+    switch (kind) {
+      case MicrobenchKind::PowerVirus:
+        phase.baseActivity = 1.0;
+        phase.activityJitter = 0.0;
+        phase.ipcWhenRunning = 4.0;
+        break;
+      case MicrobenchKind::L1Miss:
+        phase.eventRatesPer1k[0] = 330.0; // load every ~3 issue cycles
+        break;
+      case MicrobenchKind::L2Miss:
+        phase.eventRatesPer1k[1] = 160.0; // load every ~6.25 cycles
+        break;
+      case MicrobenchKind::TlbMiss:
+        phase.eventRatesPer1k[2] = 300.0; // load every ~3.25 cycles
+        break;
+      case MicrobenchKind::BranchMispredict:
+        phase.eventRatesPer1k[3] = 45.0; // mispredict every ~22 cycles
+        break;
+      case MicrobenchKind::Exception:
+        phase.eventRatesPer1k[4] = 5.7; // exception every ~175 cycles
+        break;
+      default:
+        panic("unknown microbenchmark kind");
+    }
+
+    cpu::PhaseSchedule schedule;
+    schedule.phases.push_back(phase);
+    schedule.loop = true;
+    return schedule;
+}
+
+cpu::PhaseSchedule
+idleSchedule(Cycles duration)
+{
+    cpu::ActivityPhase phase;
+    phase.duration = duration;
+    phase.baseActivity = 0.12;
+    phase.activityJitter = 0.01;
+    phase.ipcWhenRunning = 0.2;
+
+    cpu::PhaseSchedule schedule;
+    schedule.phases.push_back(phase);
+    schedule.loop = true;
+    return schedule;
+}
+
+} // namespace vsmooth::workload

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Hand-crafted microbenchmarks (paper Sec III-C).
+ *
+ * Each stream stimulates exactly one microarchitectural event class
+ * when executed by the DetailedCore, by construction of its address /
+ * branch pattern — the software equivalent of the paper's hand-written
+ * loops:
+ *
+ *  - L1Miss: strided loads over a footprint larger than L1 but well
+ *    inside L2 (every load: L1 capacity miss, L2 hit).
+ *  - L2Miss: strided loads over a footprint far larger than L2.
+ *  - TlbMiss: page-strided loads touching more pages than the TLB has
+ *    entries, but few enough distinct lines to stay L1-resident.
+ *  - BranchMispredict: data-dependent random branches that defeat
+ *    gshare.
+ *  - Exception: periodic architectural exceptions.
+ *  - PowerVirus: CPUBurn — full-width ALU issue, fully predictable
+ *    control, no misses (used for stability/stress testing).
+ */
+
+#ifndef VSMOOTH_WORKLOAD_MICROBENCH_HH
+#define VSMOOTH_WORKLOAD_MICROBENCH_HH
+
+#include <memory>
+#include <string_view>
+
+#include "common/rng.hh"
+#include "cpu/fast_core.hh"
+#include "cpu/instruction.hh"
+
+namespace vsmooth::workload {
+
+/** The microbenchmark kinds of Fig 12/13, plus the power virus. */
+enum class MicrobenchKind
+{
+    PowerVirus,
+    L1Miss,
+    L2Miss,
+    TlbMiss,
+    BranchMispredict,
+    Exception,
+};
+
+/** Display name ("L1", "BR", ...) matching the paper's figures. */
+std::string_view microbenchName(MicrobenchKind kind);
+
+/** The five event microbenchmarks in Fig 12/13 order. */
+constexpr std::array<MicrobenchKind, 5> kEventMicrobenchmarks = {
+    MicrobenchKind::L1Miss, MicrobenchKind::L2Miss,
+    MicrobenchKind::TlbMiss, MicrobenchKind::BranchMispredict,
+    MicrobenchKind::Exception,
+};
+
+/**
+ * Build the instruction stream for a microbenchmark (infinite loop,
+ * as in the paper: "each microbenchmark is run in a loop").
+ *
+ * @param kind which event to stimulate
+ * @param seed randomness (used by the branch benchmark)
+ */
+std::unique_ptr<cpu::InstructionSource>
+makeMicrobenchmark(MicrobenchKind kind, std::uint64_t seed = 1);
+
+/**
+ * FastCore equivalent of a microbenchmark: a single looping phase
+ * with the event rate the detailed stream produces.
+ */
+cpu::PhaseSchedule microbenchmarkSchedule(MicrobenchKind kind,
+                                          Cycles duration);
+
+/** OS idle loop: low activity, no events. */
+cpu::PhaseSchedule idleSchedule(Cycles duration);
+
+} // namespace vsmooth::workload
+
+#endif // VSMOOTH_WORKLOAD_MICROBENCH_HH

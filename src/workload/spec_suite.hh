@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Synthetic SPEC CPU2006 workload suite.
+ *
+ * The paper characterizes all 29 CPU2006 benchmarks (Fig 15's x-axis)
+ * by their stall and droop behaviour. We model each benchmark as a
+ * phase schedule whose knobs are:
+ *
+ *  - stallRatio: fraction of cycles the pipeline waits (the VTune
+ *    metric the paper's scheduler reads),
+ *  - memoryBoundness: shifts the stall-event mix from branch/L1
+ *    dominated (0) to L2/TLB dominated (1),
+ *  - ipcRunning: commit rate while the pipeline is not blocked,
+ *  - a phase pattern: Flat (482.sphinx), Steps (416.gamess's four
+ *    phases), or Oscillating (465.tonto) — Fig 14's three shapes.
+ *
+ * Per-benchmark values are design inputs calibrated against Fig 15's
+ * droop/stall spread, not measurements of real SPEC binaries; the
+ * scheduler study only depends on the *diversity* and the
+ * stall-to-droop coupling, which the simulation produces emergently.
+ */
+
+#ifndef VSMOOTH_WORKLOAD_SPEC_SUITE_HH
+#define VSMOOTH_WORKLOAD_SPEC_SUITE_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cpu/fast_core.hh"
+
+namespace vsmooth::workload {
+
+/** Phase-structure shapes observed in Fig 14. */
+enum class PhasePattern { Flat, Steps, Oscillating };
+
+/** Descriptor of one synthetic benchmark. */
+struct SpecBenchmark
+{
+    std::string name;
+    /** Nominal pipeline stall ratio in [0, 1). */
+    double stallRatio;
+    /** 0 = branch/L1-bound event mix, 1 = L2/TLB-bound. */
+    double memoryBoundness;
+    /** IPC while issuing. */
+    double ipcRunning;
+    PhasePattern pattern = PhasePattern::Flat;
+    /** Steps: per-phase multipliers applied to stallRatio. */
+    std::vector<double> stepMultipliers;
+    /** Oscillating: alternating lo/hi multipliers over this many
+     *  segments. */
+    double oscLo = 0.8;
+    double oscHi = 1.2;
+    int oscSegments = 12;
+    /** Run length relative to the suite's base length. */
+    double relativeLength = 1.0;
+};
+
+/** All 29 CPU2006 benchmarks, in Fig 15's alphabetical order. */
+const std::vector<SpecBenchmark> &specCpu2006();
+
+/** Look up a benchmark by name; fatal if unknown. */
+const SpecBenchmark &specByName(std::string_view name);
+
+/**
+ * Build one execution phase from the suite knobs.
+ *
+ * Event rates are derived so the phase's expected stall ratio equals
+ * `stallRatio` with the event mix implied by `memoryBoundness` —
+ * which is what makes droop rate track stall ratio across the suite
+ * (Fig 15's 0.97 correlation).
+ */
+cpu::ActivityPhase makeSpecPhase(double stallRatio, double memoryBoundness,
+                                 double ipcRunning, Cycles duration);
+
+/**
+ * Materialize a benchmark's phase schedule.
+ *
+ * @param bench the benchmark descriptor
+ * @param baseLength run length in cycles for relativeLength == 1
+ * @param loop repeat the schedule forever (sliding-window studies)
+ */
+cpu::PhaseSchedule scheduleFor(const SpecBenchmark &bench, Cycles baseLength,
+                               bool loop = false);
+
+} // namespace vsmooth::workload
+
+#endif // VSMOOTH_WORKLOAD_SPEC_SUITE_HH

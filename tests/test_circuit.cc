@@ -1,0 +1,216 @@
+/** @file Tests for the MNA circuit library: matrix, netlist, DC. */
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "circuit/dc.hh"
+#include "circuit/dense_matrix.hh"
+#include "circuit/netlist.hh"
+
+using namespace vsmooth;
+using namespace vsmooth::circuit;
+
+TEST(DenseMatrix, SolvesKnownSystem)
+{
+    // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+    DenseMatrix<double> a(2, 2);
+    a(0, 0) = 2;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 3;
+    ASSERT_TRUE(a.luFactor());
+    std::vector<double> x;
+    a.solve({5.0, 10.0}, x);
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(DenseMatrix, PivotingHandlesZeroDiagonal)
+{
+    DenseMatrix<double> a(2, 2);
+    a(0, 0) = 0;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 0;
+    ASSERT_TRUE(a.luFactor());
+    std::vector<double> x;
+    a.solve({2.0, 3.0}, x);
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(DenseMatrix, DetectsSingular)
+{
+    DenseMatrix<double> a(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 2;
+    a(1, 1) = 4;
+    EXPECT_FALSE(a.luFactor());
+}
+
+TEST(DenseMatrix, ComplexSolve)
+{
+    using C = std::complex<double>;
+    DenseMatrix<C> a(2, 2);
+    a(0, 0) = C{1, 1};
+    a(0, 1) = C{0, 0};
+    a(1, 0) = C{0, 0};
+    a(1, 1) = C{0, 2};
+    ASSERT_TRUE(a.luFactor());
+    std::vector<C> x;
+    a.solve({C{2, 0}, C{4, 0}}, x);
+    EXPECT_NEAR(std::abs(x[0] - C{1, -1}), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(x[1] - C{0, -2}), 0.0, 1e-12);
+}
+
+TEST(DenseMatrix, LargerRandomRoundTrip)
+{
+    // Build a well-conditioned system and verify A * x ~= b.
+    const std::size_t n = 12;
+    DenseMatrix<double> a(n, n);
+    DenseMatrix<double> copy(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            const double v =
+                (i == j) ? 10.0 : 1.0 / (1.0 + double(i) + double(j));
+            a(i, j) = v;
+            copy(i, j) = v;
+        }
+    }
+    std::vector<double> b(n);
+    for (std::size_t i = 0; i < n; ++i)
+        b[i] = static_cast<double>(i) - 3.0;
+    ASSERT_TRUE(a.luFactor());
+    std::vector<double> x;
+    a.solve(b, x);
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+            sum += copy(i, j) * x[j];
+        EXPECT_NEAR(sum, b[i], 1e-9);
+    }
+}
+
+TEST(Netlist, NodeAllocation)
+{
+    Netlist net;
+    EXPECT_EQ(net.numNodes(), 1u); // ground
+    const NodeId a = net.newNode();
+    const NodeId b = net.newNode();
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 2);
+    EXPECT_EQ(net.numNodes(), 3u);
+}
+
+TEST(Netlist, SourceValueUpdates)
+{
+    Netlist net;
+    const NodeId n = net.newNode();
+    const SourceId v = net.addVoltageSource(n, kGround, Volts(1.0));
+    const SourceId i = net.addCurrentSource(n, kGround, Amps(2.0));
+    EXPECT_DOUBLE_EQ(net.voltageSourceValue(v), 1.0);
+    EXPECT_DOUBLE_EQ(net.currentSourceValue(i), 2.0);
+    net.setVoltageSource(v, Volts(1.5));
+    net.setCurrentSource(i, Amps(-3.0));
+    EXPECT_DOUBLE_EQ(net.voltageSourceValue(v), 1.5);
+    EXPECT_DOUBLE_EQ(net.currentSourceValue(i), -3.0);
+}
+
+TEST(Netlist, ElementBookkeeping)
+{
+    Netlist net;
+    const NodeId a = net.newNode();
+    const NodeId b = net.newNode();
+    net.addResistor(a, b, Ohms(1.0), "r1");
+    net.addCapacitor(b, kGround, Farads(1e-9), "c1");
+    net.addInductor(a, kGround, Henries(1e-9), "l1");
+    ASSERT_EQ(net.elements().size(), 3u);
+    EXPECT_EQ(net.elements()[0].kind, ElementKind::Resistor);
+    EXPECT_EQ(net.elements()[1].kind, ElementKind::Capacitor);
+    EXPECT_EQ(net.elements()[2].kind, ElementKind::Inductor);
+    EXPECT_EQ(net.elements()[0].label, "r1");
+}
+
+TEST(NetlistDeath, RejectsNonPositiveValues)
+{
+    Netlist net;
+    const NodeId a = net.newNode();
+    EXPECT_EXIT(net.addResistor(a, kGround, Ohms(0.0)),
+                ::testing::ExitedWithCode(1), "positive resistance");
+    EXPECT_EXIT(net.addCapacitor(a, kGround, Farads(-1.0)),
+                ::testing::ExitedWithCode(1), "positive capacitance");
+    EXPECT_EXIT(net.addInductor(a, kGround, Henries(0.0)),
+                ::testing::ExitedWithCode(1), "positive inductance");
+}
+
+TEST(NetlistDeath, RejectsUnknownNode)
+{
+    Netlist net;
+    EXPECT_DEATH(net.addResistor(5, kGround, Ohms(1.0)), "out of range");
+}
+
+TEST(Dc, VoltageDivider)
+{
+    Netlist net;
+    const NodeId top = net.newNode();
+    const NodeId mid = net.newNode();
+    net.addVoltageSource(top, kGround, Volts(10.0));
+    net.addResistor(top, mid, Ohms(1.0));
+    net.addResistor(mid, kGround, Ohms(3.0));
+    const auto sol = dcOperatingPoint(net);
+    EXPECT_NEAR(sol.nodeVoltages[top], 10.0, 1e-12);
+    EXPECT_NEAR(sol.nodeVoltages[mid], 7.5, 1e-12);
+}
+
+TEST(Dc, CurrentSourceThroughResistor)
+{
+    Netlist net;
+    const NodeId n = net.newNode();
+    net.addResistor(n, kGround, Ohms(4.0));
+    // Load draws 2 A out of the node -> node sits at -8 V.
+    net.addCurrentSource(n, kGround, Amps(2.0));
+    const auto sol = dcOperatingPoint(net);
+    EXPECT_NEAR(sol.nodeVoltages[n], -8.0, 1e-12);
+}
+
+TEST(Dc, InductorIsShortAtDc)
+{
+    Netlist net;
+    const NodeId a = net.newNode();
+    const NodeId b = net.newNode();
+    net.addVoltageSource(a, kGround, Volts(5.0));
+    net.addInductor(a, b, Henries(1e-6));
+    net.addResistor(b, kGround, Ohms(10.0));
+    const auto sol = dcOperatingPoint(net);
+    EXPECT_NEAR(sol.nodeVoltages[b], 5.0, 1e-9);
+    ASSERT_EQ(sol.inductorCurrents.size(), 1u);
+    EXPECT_NEAR(sol.inductorCurrents[0], 0.5, 1e-9);
+}
+
+TEST(Dc, CapacitorIsOpenAtDc)
+{
+    Netlist net;
+    const NodeId a = net.newNode();
+    const NodeId b = net.newNode();
+    net.addVoltageSource(a, kGround, Volts(5.0));
+    net.addResistor(a, b, Ohms(100.0));
+    net.addCapacitor(b, kGround, Farads(1e-6));
+    // A resistor to ground keeps b well-defined.
+    net.addResistor(b, kGround, Ohms(100.0));
+    const auto sol = dcOperatingPoint(net);
+    EXPECT_NEAR(sol.nodeVoltages[b], 2.5, 1e-12);
+}
+
+TEST(DcDeath, FloatingNodeIsFatal)
+{
+    Netlist net;
+    const NodeId a = net.newNode();
+    const NodeId b = net.newNode();
+    net.addVoltageSource(a, kGround, Volts(1.0));
+    // b connects only through a capacitor: open at DC -> singular.
+    net.addCapacitor(a, b, Farads(1e-9));
+    EXPECT_EXIT(dcOperatingPoint(net), ::testing::ExitedWithCode(1),
+                "singular");
+}

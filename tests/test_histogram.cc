@@ -1,0 +1,163 @@
+/** @file Tests for the streaming histogram (the scope's data model). */
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hh"
+#include "common/rng.hh"
+
+using namespace vsmooth;
+
+TEST(Histogram, BasicCounting)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    EXPECT_EQ(h.totalCount(), 3u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 2u);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(2.5, 7);
+    EXPECT_EQ(h.totalCount(), 7u);
+    EXPECT_EQ(h.binCount(2), 7u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-5.0);
+    h.add(15.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.totalCount(), 2u);
+    // Exact extremes are preserved.
+    EXPECT_DOUBLE_EQ(h.minSample(), -5.0);
+    EXPECT_DOUBLE_EQ(h.maxSample(), 15.0);
+}
+
+TEST(Histogram, BinCenters)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.binCenter(9), 9.5);
+}
+
+TEST(Histogram, FractionBelow)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.fractionBelow(5.0), 0.5, 0.05);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(100.0), 1.0);
+}
+
+TEST(Histogram, FractionAtOrAboveComplement)
+{
+    Histogram h(0.0, 1.0, 100);
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i)
+        h.add(rng.uniform());
+    EXPECT_NEAR(h.fractionBelow(0.3) + h.fractionAtOrAbove(0.3), 1.0,
+                1e-12);
+}
+
+TEST(Histogram, QuantileMedianOfUniform)
+{
+    Histogram h(0.0, 1.0, 1000);
+    Rng rng(7);
+    for (int i = 0; i < 100000; ++i)
+        h.add(rng.uniform());
+    EXPECT_NEAR(h.quantile(0.5), 0.5, 0.01);
+    EXPECT_NEAR(h.quantile(0.9), 0.9, 0.01);
+    EXPECT_NEAR(h.quantile(0.1), 0.1, 0.01);
+}
+
+TEST(Histogram, CdfMonotoneAndEndsAtOne)
+{
+    Histogram h(-1.0, 1.0, 64);
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i)
+        h.add(rng.normal(0.0, 0.3));
+    const auto cdf = h.cdf();
+    ASSERT_EQ(cdf.size(), 64u);
+    double prev = 0.0;
+    for (const auto &[edge, frac] : cdf) {
+        EXPECT_GE(frac, prev);
+        prev = frac;
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Histogram, MergeAddsCounts)
+{
+    Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+    a.add(1.0);
+    b.add(1.2);
+    b.add(9.0);
+    a.merge(b);
+    EXPECT_EQ(a.totalCount(), 3u);
+    EXPECT_EQ(a.binCount(1), 2u);
+    EXPECT_EQ(a.binCount(9), 1u);
+    EXPECT_DOUBLE_EQ(a.maxSample(), 9.0);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.5);
+    h.clear();
+    EXPECT_EQ(h.totalCount(), 0u);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(0.9), 0.0);
+}
+
+TEST(HistogramDeath, InvalidRange)
+{
+    EXPECT_DEATH(Histogram(1.0, 1.0, 10), "must exceed");
+}
+
+TEST(HistogramDeath, ZeroBins)
+{
+    EXPECT_DEATH(Histogram(0.0, 1.0, 0), "at least one bin");
+}
+
+TEST(HistogramDeath, MergeIncompatible)
+{
+    Histogram a(0.0, 1.0, 10), b(0.0, 2.0, 10);
+    EXPECT_DEATH(a.merge(b), "incompatible");
+}
+
+TEST(HistogramDeath, QuantileOnEmpty)
+{
+    Histogram h(0.0, 1.0, 10);
+    EXPECT_DEATH(h.quantile(0.5), "empty");
+}
+
+/** Property: quantile is monotone in q for arbitrary data. */
+class HistogramQuantileProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HistogramQuantileProperty, QuantileMonotone)
+{
+    Histogram h(-3.0, 3.0, 256);
+    Rng rng(GetParam());
+    for (int i = 0; i < 5000; ++i)
+        h.add(rng.normal());
+    double prev = h.quantile(0.0);
+    for (double q = 0.05; q <= 1.0; q += 0.05) {
+        const double cur = h.quantile(q);
+        EXPECT_GE(cur, prev);
+        prev = cur;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramQuantileProperty,
+                         ::testing::Values(3, 14, 159, 2653));

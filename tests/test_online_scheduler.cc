@@ -1,0 +1,120 @@
+/** @file Tests for the online (counter-driven) batch scheduler. */
+
+#include <gtest/gtest.h>
+
+#include "sched/online_scheduler.hh"
+
+using namespace vsmooth;
+using namespace vsmooth::sched;
+
+namespace {
+
+std::vector<const workload::SpecBenchmark *>
+mixedBatch()
+{
+    // Two copies of each so StallBalance can act on learned
+    // estimates for the second copy.
+    std::vector<const workload::SpecBenchmark *> batch;
+    for (const char *name : {"mcf", "hmmer", "sphinx", "povray"}) {
+        batch.push_back(&workload::specByName(name));
+        batch.push_back(&workload::specByName(name));
+    }
+    return batch;
+}
+
+OnlineConfig
+futureNodeConfig()
+{
+    OnlineConfig cfg;
+    cfg.system.package =
+        pdn::PackageConfig::core2duo().withDecapFraction(0.03);
+    cfg.system.emergencyMargin = 0.07;
+    cfg.system.recoveryCostCycles = 1000;
+    cfg.jobLength = 150'000;
+    cfg.schedulingInterval = 25'000;
+    cfg.system.osTickInterval = sim::kCompressedOsTick;
+    return cfg;
+}
+
+} // namespace
+
+TEST(OnlineScheduler, PolicyNames)
+{
+    EXPECT_EQ(onlinePolicyName(OnlinePolicy::Fcfs), "FCFS");
+    EXPECT_EQ(onlinePolicyName(OnlinePolicy::StallBalance),
+              "StallBalance");
+}
+
+TEST(OnlineScheduler, DrainsTheWholeBatch)
+{
+    const auto batch = mixedBatch();
+    const auto result =
+        runOnlineBatch(batch, futureNodeConfig(), OnlinePolicy::Fcfs);
+    EXPECT_EQ(result.jobsCompleted, batch.size());
+    EXPECT_GT(result.makespan, 0u);
+    EXPECT_GT(result.droopsPer1k, 0.0);
+}
+
+TEST(OnlineScheduler, MakespanBoundedByTwoCoreParallelism)
+{
+    const auto batch = mixedBatch();
+    OnlineConfig cfg = futureNodeConfig();
+    cfg.system.emergencyMargin = 0.0; // no recovery inflation
+    cfg.system.recoveryCostCycles = 0;
+    const auto result = runOnlineBatch(batch, cfg, OnlinePolicy::Fcfs);
+    // Jobs may run longer than jobLength (relativeLength scaling and
+    // recovery stalls), but two cores must beat fully serial
+    // execution by a wide margin.
+    Cycles serial = 0;
+    for (const auto *b : batch) {
+        serial += static_cast<Cycles>(
+            b->relativeLength * static_cast<double>(cfg.jobLength));
+    }
+    EXPECT_LT(result.makespan, serial);
+    EXPECT_GT(result.makespan, serial / 4);
+}
+
+TEST(OnlineScheduler, ObservedStallRatiosTrackDesign)
+{
+    const auto batch = mixedBatch();
+    const auto result =
+        runOnlineBatch(batch, futureNodeConfig(), OnlinePolicy::Fcfs);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_NEAR(result.observedStallRatios[i], batch[i]->stallRatio,
+                    0.2)
+            << batch[i]->name;
+    }
+}
+
+TEST(OnlineScheduler, StallBalanceDoesNotHurtNoise)
+{
+    // The counter-driven policy should keep chip noise at or below
+    // the FCFS baseline (it cannot always win on a small batch, but
+    // it must not be materially worse).
+    const auto batch = mixedBatch();
+    const auto cfg = futureNodeConfig();
+    const auto fcfs = runOnlineBatch(batch, cfg, OnlinePolicy::Fcfs);
+    const auto bal =
+        runOnlineBatch(batch, cfg, OnlinePolicy::StallBalance);
+    EXPECT_EQ(bal.jobsCompleted, batch.size());
+    EXPECT_LT(bal.droopsPer1k, fcfs.droopsPer1k * 1.08);
+}
+
+TEST(OnlineScheduler, DeterministicForSeed)
+{
+    const auto batch = mixedBatch();
+    const auto cfg = futureNodeConfig();
+    const auto a =
+        runOnlineBatch(batch, cfg, OnlinePolicy::StallBalance);
+    const auto b =
+        runOnlineBatch(batch, cfg, OnlinePolicy::StallBalance);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.emergencies, b.emergencies);
+}
+
+TEST(OnlineSchedulerDeath, EmptyBatch)
+{
+    EXPECT_EXIT(
+        runOnlineBatch({}, futureNodeConfig(), OnlinePolicy::Fcfs),
+        ::testing::ExitedWithCode(1), "empty batch");
+}

@@ -1,0 +1,243 @@
+/** @file Tests for the PDN models: config, ladder, second-order. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ac.hh"
+#include "pdn/droop_analysis.hh"
+#include "pdn/ladder.hh"
+#include "pdn/package_config.hh"
+#include "pdn/second_order.hh"
+#include "sim/calibration.hh"
+
+using namespace vsmooth;
+using namespace vsmooth::pdn;
+
+TEST(PackageConfig, DecapScaling)
+{
+    const auto cfg = PackageConfig::core2duo();
+    const auto proc25 = cfg.withDecapFraction(0.25);
+    EXPECT_DOUBLE_EQ(proc25.decapFraction, 0.25);
+    EXPECT_LT(proc25.effectiveCapacitance().value(),
+              cfg.effectiveCapacitance().value());
+    EXPECT_GT(proc25.resonanceFrequency().value(),
+              cfg.resonanceFrequency().value());
+    EXPECT_GT(proc25.characteristicImpedance().value(),
+              cfg.characteristicImpedance().value());
+}
+
+TEST(PackageConfig, ResonanceInMeasuredBand)
+{
+    // The paper's Fig 4: resonance between ~75 and 250 MHz across
+    // the decap range.
+    for (double frac : sim::procDecapFractions()) {
+        const auto cfg =
+            PackageConfig::core2duo().withDecapFraction(frac);
+        const double f = cfg.resonanceFrequency().value();
+        EXPECT_GT(f, 60e6) << "frac " << frac;
+        EXPECT_LT(f, 260e6) << "frac " << frac;
+    }
+}
+
+TEST(PackageConfigDeath, RejectsBadFraction)
+{
+    EXPECT_EXIT(PackageConfig::core2duo().withDecapFraction(1.5),
+                ::testing::ExitedWithCode(1), "fraction");
+}
+
+TEST(Ladder, HasPerCoreHandles)
+{
+    const auto net = buildLadder(PackageConfig::core2duo(), 2);
+    EXPECT_EQ(net.coreNodes.size(), 2u);
+    EXPECT_EQ(net.loadSources.size(), 2u);
+    EXPECT_NE(net.dieNode, circuit::kGround);
+}
+
+TEST(Ladder, Proc0OmitsPackageCaps)
+{
+    const auto full = buildLadder(PackageConfig::core2duo(), 1);
+    const auto none = buildLadder(
+        PackageConfig::core2duo().withDecapFraction(0.0), 1);
+    EXPECT_GT(full.net.elements().size(), none.net.elements().size());
+}
+
+TEST(Ladder, ImpedancePeakTracksConfigResonance)
+{
+    for (double frac : {1.0, 0.25, 0.03}) {
+        const auto cfg =
+            PackageConfig::core2duo().withDecapFraction(frac);
+        const auto net = buildLadder(cfg, 1);
+        const auto sweep = circuit::impedanceSweep(
+            net.net, net.dieNode, Hertz(20e6), Hertz(400e6), 60);
+        const auto peak = circuit::resonancePeak(sweep);
+        EXPECT_NEAR(peak.frequencyHz, cfg.resonanceFrequency().value(),
+                    cfg.resonanceFrequency().value() * 0.2)
+            << "frac " << frac;
+    }
+}
+
+TEST(Ladder, ReducedDecapRaisesPeakImpedance)
+{
+    auto peakOf = [](double frac) {
+        const auto cfg =
+            PackageConfig::core2duo().withDecapFraction(frac);
+        const auto net = buildLadder(cfg, 1);
+        return circuit::resonancePeak(
+                   circuit::impedanceSweep(net.net, net.dieNode,
+                                           Hertz(20e6), Hertz(400e6),
+                                           60))
+            .magnitude();
+    };
+    EXPECT_GT(peakOf(0.03), 2.0 * peakOf(1.0));
+}
+
+TEST(SecondOrder, SettlesToDcUnderConstantLoad)
+{
+    SecondOrderParams params;
+    SecondOrderPdn pdn(params, Seconds(0.5e-9));
+    for (int i = 0; i < 200000; ++i)
+        pdn.step(10.0);
+    EXPECT_NEAR(pdn.voltage(),
+                params.vdd.value() - params.rSeries.value() * 10.0,
+                1e-4);
+    EXPECT_NEAR(pdn.inductorCurrent(), 10.0, 1e-3);
+}
+
+TEST(SecondOrder, StepExcitesRingNearResonance)
+{
+    SecondOrderParams params;
+    SecondOrderPdn pdn(params, Seconds(0.5e-9));
+    pdn.reset(5.0);
+    // Step the load and measure the ring period via minima spacing.
+    std::vector<double> trace;
+    for (int i = 0; i < 200; ++i)
+        trace.push_back(pdn.step(15.0));
+    // Find first two local minima.
+    std::vector<int> minima;
+    for (int i = 1; i + 1 < static_cast<int>(trace.size()); ++i) {
+        if (trace[i] < trace[i - 1] && trace[i] <= trace[i + 1])
+            minima.push_back(i);
+        if (minima.size() == 2)
+            break;
+    }
+    ASSERT_EQ(minima.size(), 2u);
+    const double period = (minima[1] - minima[0]) * 0.5e-9;
+    EXPECT_NEAR(1.0 / period, pdn.resonanceFrequency().value(),
+                pdn.resonanceFrequency().value() * 0.2);
+}
+
+TEST(SecondOrder, MatchesLadderResonance)
+{
+    // The reduced model and the ladder must agree on the resonance
+    // frequency (integration invariant from DESIGN.md).
+    const auto cfg = PackageConfig::core2duo();
+    SecondOrderPdn fast(cfg, Seconds(0.5e-9));
+    const auto net = buildLadder(cfg, 1);
+    const auto peak = circuit::resonancePeak(circuit::impedanceSweep(
+        net.net, net.dieNode, Hertz(20e6), Hertz(400e6), 80));
+    EXPECT_NEAR(fast.resonanceFrequency().value(), peak.frequencyHz,
+                peak.frequencyHz * 0.15);
+}
+
+TEST(SecondOrder, DroopScalesWithDecapRemoval)
+{
+    auto droopOf = [](double frac) {
+        SecondOrderPdn pdn(
+            PackageConfig::core2duo().withDecapFraction(frac),
+            Seconds(0.5e-9));
+        pdn.reset(5.0);
+        double vmin = 1e9;
+        for (int i = 0; i < 400; ++i)
+            vmin = std::min(vmin, pdn.step(20.0));
+        return pdn.vddNominal() - vmin;
+    };
+    const double d100 = droopOf(1.0);
+    const double d3 = droopOf(0.03);
+    // Paper Fig 6: roughly 2x between Proc100 and Proc3.
+    EXPECT_GT(d3, 1.5 * d100);
+    EXPECT_LT(d3, 3.5 * d100);
+}
+
+TEST(SecondOrder, RippleBoundedAndPeriodic)
+{
+    SecondOrderParams params;
+    SecondOrderPdn pdn(params, Seconds(0.5e-9), 0.01, Hertz(1e6));
+    double vmin = 1e9, vmax = -1e9;
+    for (int i = 0; i < 20000; ++i) {
+        const double v = pdn.step(0.0);
+        vmin = std::min(vmin, v);
+        vmax = std::max(vmax, v);
+    }
+    const double nominal = params.vdd.value();
+    EXPECT_LT(vmax, nominal * 1.016);
+    EXPECT_GT(vmin, nominal * 0.984);
+    EXPECT_GT(vmax - vmin, nominal * 0.015); // ripple is present
+}
+
+TEST(SecondOrder, NoRippleIsFlatAtIdle)
+{
+    SecondOrderParams params;
+    SecondOrderPdn pdn(params, Seconds(0.5e-9), 0.0);
+    pdn.reset(3.0);
+    for (int i = 0; i < 1000; ++i)
+        pdn.step(3.0);
+    EXPECT_NEAR(pdn.voltage(),
+                params.vdd.value() - params.rSeries.value() * 3.0, 1e-9);
+}
+
+TEST(SecondOrder, DeviationSign)
+{
+    SecondOrderPdn pdn(PackageConfig::core2duo(), Seconds(0.5e-9));
+    pdn.reset(0.0);
+    for (int i = 0; i < 50; ++i)
+        pdn.step(30.0); // heavy load -> droop
+    EXPECT_LT(pdn.voltageDeviation(), 0.0);
+}
+
+TEST(SecondOrderDeath, RejectsBadParams)
+{
+    SecondOrderParams params;
+    params.l = Henries(0.0);
+    EXPECT_EXIT(SecondOrderPdn(params, Seconds(1e-9)),
+                ::testing::ExitedWithCode(1), "positive");
+}
+
+TEST(ResetSimulation, DroopGrowsMonotonicallyAsDecapShrinks)
+{
+    double prev = 0.0;
+    for (double frac : sim::procDecapFractions()) {
+        const auto wf = simulateReset(
+            PackageConfig::core2duo().withDecapFraction(frac));
+        EXPECT_GT(wf.maxDroop(), prev)
+            << "droop should grow as decap shrinks (frac " << frac
+            << ")";
+        prev = wf.maxDroop();
+    }
+}
+
+TEST(ResetSimulation, Proc100DroopNearPaperValue)
+{
+    const auto wf = simulateReset(PackageConfig::core2duo());
+    EXPECT_GT(wf.maxDroop(), 0.100); // paper: ~150 mV
+    EXPECT_LT(wf.maxDroop(), 0.220);
+}
+
+TEST(ResetSimulation, Proc0DroopNearPaperValue)
+{
+    const auto wf = simulateReset(
+        PackageConfig::core2duo().withDecapFraction(0.0));
+    EXPECT_GT(wf.maxDroop(), 0.250); // paper: ~350 mV
+    EXPECT_LT(wf.maxDroop(), 0.450);
+}
+
+TEST(VoltageWaveform, TimeBelowAccounting)
+{
+    VoltageWaveform wf;
+    wf.dt = Seconds(1e-9);
+    wf.vNominal = 1.0;
+    wf.samples = {1.0, 0.94, 0.94, 0.96, 1.0};
+    EXPECT_NEAR(wf.timeBelow(0.95).value(), 2e-9, 1e-18);
+    EXPECT_NEAR(wf.maxDroop(), 0.06, 1e-12);
+    EXPECT_NEAR(wf.peakToPeak(), 0.06, 1e-12);
+}

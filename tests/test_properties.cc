@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Cross-module property tests: physical and statistical invariants
+ * that must hold across whole parameter sweeps, not just at spot
+ * points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "circuit/ac.hh"
+#include "cpu/fast_core.hh"
+#include "pdn/droop_analysis.hh"
+#include "pdn/ladder.hh"
+#include "pdn/second_order.hh"
+#include "sim/system.hh"
+#include "workload/microbench.hh"
+#include "workload/spec_suite.hh"
+
+using namespace vsmooth;
+
+/**
+ * Property: the PDN is a linear circuit — the deviation response to
+ * the sum of two load waveforms equals the sum of the individual
+ * deviation responses (superposition), up to integration rounding.
+ */
+TEST(PdnProperties, Superposition)
+{
+    pdn::SecondOrderParams params;
+    const Seconds dt{0.5e-9};
+
+    auto loadA = [](int i) {
+        return 5.0 + 3.0 * ((i / 40) % 2); // square wave
+    };
+    auto loadB = [](int i) {
+        return 2.0 + 2.0 * std::sin(i * 0.05);
+    };
+
+    pdn::SecondOrderPdn pa(params, dt), pb(params, dt), pab(params, dt);
+    pa.reset(0.0);
+    pb.reset(0.0);
+    pab.reset(0.0);
+    const double vdd = params.vdd.value();
+    for (int i = 0; i < 5000; ++i) {
+        const double da = pa.step(loadA(i)) - vdd;
+        const double db = pb.step(loadB(i)) - vdd;
+        const double dab = pab.step(loadA(i) + loadB(i)) - vdd;
+        ASSERT_NEAR(dab, da + db, 1e-9) << "cycle " << i;
+    }
+}
+
+/** Property sweep: ladder and reduced model agree on the resonance
+ *  frequency for every decap fraction. */
+class DecapSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DecapSweep, LadderMatchesReducedModelResonance)
+{
+    const auto cfg =
+        pdn::PackageConfig::core2duo().withDecapFraction(GetParam());
+    pdn::SecondOrderPdn fast(cfg, Seconds(0.5e-9));
+    auto net = pdn::buildLadder(cfg, 1);
+    const auto peak = circuit::resonancePeak(circuit::impedanceSweep(
+        net.net, net.dieNode, Hertz(20e6), Hertz(400e6), 80));
+    EXPECT_NEAR(fast.resonanceFrequency().value(), peak.frequencyHz,
+                peak.frequencyHz * 0.2);
+}
+
+TEST_P(DecapSweep, ImpedancePeakNeverBelowCharacteristic)
+{
+    // |Z|peak >= sqrt(L/C): the resonance peak cannot undershoot the
+    // tank's characteristic impedance (Q >= 1 for our damping).
+    const auto cfg =
+        pdn::PackageConfig::core2duo().withDecapFraction(GetParam());
+    auto net = pdn::buildLadder(cfg, 1);
+    const auto peak = circuit::resonancePeak(circuit::impedanceSweep(
+        net.net, net.dieNode, Hertz(20e6), Hertz(400e6), 80));
+    EXPECT_GE(peak.magnitude(),
+              cfg.characteristicImpedance().value() * 0.9);
+}
+
+TEST_P(DecapSweep, ResetWaveformSettlesBackToIdle)
+{
+    const auto cfg =
+        pdn::PackageConfig::core2duo().withDecapFraction(GetParam());
+    const auto wf = pdn::simulateReset(cfg);
+    // The tail of the waveform must return near the pre-reset level.
+    const double last = wf.samples.back();
+    EXPECT_NEAR(last, wf.vNominal, wf.vNominal * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, DecapSweep,
+                         ::testing::Values(1.0, 0.75, 0.5, 0.25, 0.1,
+                                           0.03, 0.0));
+
+/** Property sweep: every benchmark in the suite realizes a stall
+ *  ratio close to its design value, and droop rate grows with it. */
+class SuiteSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SuiteSweep, RealizedStallNearDesignAndDroopsPositive)
+{
+    const auto &bench = workload::specCpu2006().at(GetParam());
+    sim::SystemConfig cfg;
+    sim::System sys(cfg);
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(bench, 300'000, true), 77 + GetParam()));
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::idleSchedule(1000), 78));
+    sys.run(300'000);
+
+    // Phase multipliers move the instantaneous target around the
+    // nominal, so allow a wide but bounded band.
+    EXPECT_NEAR(sys.core(0).counters().stallRatio(), bench.stallRatio,
+                0.15)
+        << bench.name;
+    EXPECT_GT(sys.scope().fractionBelow(-sim::kIdleMargin), 0.0)
+        << bench.name;
+    EXPECT_GT(sys.core(0).counters().ipc(), 0.05) << bench.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteSweep,
+                         ::testing::Range<std::size_t>(0, 29));
+
+/** Property: deviation samples never escape the scope's physical
+ *  range for any decap fraction under a heavy pair. */
+class TailSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TailSweep, DeviationsPhysicallyBounded)
+{
+    sim::SystemConfig cfg;
+    cfg.package =
+        pdn::PackageConfig::core2duo().withDecapFraction(GetParam());
+    sim::System sys(cfg);
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(workload::specByName("lbm"), 200'000,
+                              true),
+        1));
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(workload::specByName("mcf"), 200'000,
+                              true),
+        2));
+    sys.run(200'000);
+    EXPECT_LT(sys.scope().maxDroop(), 0.25);
+    EXPECT_LT(sys.scope().maxOvershoot(), 0.15);
+    EXPECT_GT(sys.dieVoltage(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, TailSweep,
+                         ::testing::Values(1.0, 0.25, 0.03));
+
+/** Property: at a fixed margin, emergencies grow monotonically (with
+ *  slack for event-merging) as decap shrinks. */
+TEST(PdnProperties, EmergenciesGrowAsDecapShrinks)
+{
+    auto count = [](double frac) {
+        sim::SystemConfig cfg;
+        cfg.package =
+            pdn::PackageConfig::core2duo().withDecapFraction(frac);
+        sim::System sys(cfg);
+        sys.addCore(std::make_unique<cpu::FastCore>(
+            workload::scheduleFor(workload::specByName("sphinx"),
+                                  300'000, true),
+            1));
+        sys.addCore(std::make_unique<cpu::FastCore>(
+            workload::scheduleFor(workload::specByName("milc"),
+                                  300'000, true),
+            2));
+        sys.run(300'000);
+        return sys.droopBank().eventCountForMargin(0.04);
+    };
+    const auto c100 = count(1.0);
+    const auto c25 = count(0.25);
+    const auto c3 = count(0.03);
+    EXPECT_LT(c100, c25);
+    EXPECT_LT(c25, c3 * 2); // allow merging slack at the deep end
+}

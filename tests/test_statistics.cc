@@ -1,0 +1,188 @@
+/** @file Tests for descriptive statistics. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/statistics.hh"
+
+using namespace vsmooth;
+
+TEST(RunningStats, MatchesDirectComputation)
+{
+    RunningStats rs;
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 10.0};
+    for (double x : xs)
+        rs.add(x);
+    EXPECT_EQ(rs.count(), 5u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 10.0);
+    EXPECT_DOUBLE_EQ(rs.range(), 9.0);
+    // Unbiased variance: sum((x-4)^2)/4 = (9+4+1+0+36)/4 = 12.5
+    EXPECT_DOUBLE_EQ(rs.variance(), 12.5);
+    EXPECT_DOUBLE_EQ(rs.stddev(), std::sqrt(12.5));
+}
+
+TEST(RunningStats, EmptyIsSafe)
+{
+    RunningStats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.range(), 0.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero)
+{
+    RunningStats rs;
+    rs.add(3.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEquivalentToSequential)
+{
+    Rng rng(5);
+    RunningStats whole, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        whole.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeIntoEmpty)
+{
+    RunningStats a, b;
+    b.add(1.0);
+    b.add(2.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+}
+
+TEST(Statistics, MeanAndStddev)
+{
+    const std::vector<double> xs = {2.0, 4.0, 6.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 4.0);
+    EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Statistics, PercentileInterpolates)
+{
+    const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 17.5);
+}
+
+TEST(Statistics, PercentileUnsortedInput)
+{
+    const std::vector<double> xs = {40.0, 10.0, 30.0, 20.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Statistics, PearsonPerfectCorrelation)
+{
+    const std::vector<double> xs = {1, 2, 3, 4, 5};
+    const std::vector<double> ys = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Statistics, PearsonPerfectAnticorrelation)
+{
+    const std::vector<double> xs = {1, 2, 3, 4};
+    const std::vector<double> ys = {8, 6, 4, 2};
+    EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Statistics, PearsonIndependentNearZero)
+{
+    Rng rng(9);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20000; ++i) {
+        xs.push_back(rng.normal());
+        ys.push_back(rng.normal());
+    }
+    EXPECT_NEAR(pearson(xs, ys), 0.0, 0.03);
+}
+
+TEST(Statistics, PearsonDegenerateIsZero)
+{
+    const std::vector<double> xs = {1, 1, 1};
+    const std::vector<double> ys = {1, 2, 3};
+    EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Statistics, LinearFitRecoversLine)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 50; ++i) {
+        xs.push_back(i);
+        ys.push_back(3.0 * i - 7.0);
+    }
+    const auto fit = linearFit(xs, ys);
+    EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Statistics, LinearFitNoisy)
+{
+    Rng rng(3);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 5000; ++i) {
+        xs.push_back(i * 0.01);
+        ys.push_back(2.0 * xs.back() + 1.0 + rng.normal(0.0, 0.1));
+    }
+    const auto fit = linearFit(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.0, 0.01);
+    EXPECT_NEAR(fit.intercept, 1.0, 0.02);
+    EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(Statistics, BoxplotFiveNumbers)
+{
+    std::vector<double> xs;
+    for (int i = 1; i <= 101; ++i)
+        xs.push_back(i);
+    const auto box = boxplot(xs);
+    EXPECT_DOUBLE_EQ(box.min, 1.0);
+    EXPECT_DOUBLE_EQ(box.median, 51.0);
+    EXPECT_DOUBLE_EQ(box.q1, 26.0);
+    EXPECT_DOUBLE_EQ(box.q3, 76.0);
+    EXPECT_DOUBLE_EQ(box.max, 101.0);
+    EXPECT_DOUBLE_EQ(box.mean, 51.0);
+}
+
+/** Property: percentile is monotone in p. */
+class PercentileMonotone : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PercentileMonotone, MonotoneInP)
+{
+    Rng rng(GetParam());
+    std::vector<double> xs;
+    for (int i = 0; i < 500; ++i)
+        xs.push_back(rng.normal(0.0, 5.0));
+    double prev = percentile(xs, 0.0);
+    for (int p = 5; p <= 100; p += 5) {
+        const double cur = percentile(xs, p);
+        EXPECT_GE(cur, prev);
+        prev = cur;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone,
+                         ::testing::Values(1, 2, 3, 4, 5));

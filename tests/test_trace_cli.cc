@@ -1,0 +1,92 @@
+/** @file Tests for the trace writer and its System integration. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "cpu/fast_core.hh"
+#include "noise/trace_writer.hh"
+#include "sim/system.hh"
+#include "workload/microbench.hh"
+#include "workload/spec_suite.hh"
+
+using namespace vsmooth;
+using namespace vsmooth::noise;
+
+TEST(TraceWriter, RecordsInOrder)
+{
+    TraceWriter trace(8);
+    for (Cycles i = 0; i < 5; ++i)
+        trace.record(i, -0.01 * static_cast<double>(i), 10.0);
+    EXPECT_EQ(trace.size(), 5u);
+    const auto chron = trace.chronological();
+    ASSERT_EQ(chron.size(), 5u);
+    EXPECT_EQ(chron.front().cycle, 0u);
+    EXPECT_EQ(chron.back().cycle, 4u);
+}
+
+TEST(TraceWriter, RingBufferKeepsMostRecent)
+{
+    TraceWriter trace(4);
+    for (Cycles i = 0; i < 10; ++i)
+        trace.record(i, 0.0, 0.0);
+    EXPECT_EQ(trace.size(), 4u);
+    const auto chron = trace.chronological();
+    EXPECT_EQ(chron.front().cycle, 6u);
+    EXPECT_EQ(chron.back().cycle, 9u);
+}
+
+TEST(TraceWriter, FreezeStopsRecording)
+{
+    TraceWriter trace(4);
+    trace.record(1, -0.02, 5.0);
+    trace.freeze();
+    trace.record(2, -0.03, 6.0);
+    EXPECT_EQ(trace.size(), 1u);
+    EXPECT_TRUE(trace.frozen());
+}
+
+TEST(TraceWriter, CsvFormat)
+{
+    TraceWriter trace(4);
+    trace.record(7, -0.0125, 11.5);
+    std::ostringstream os;
+    trace.writeCsv(os);
+    EXPECT_EQ(os.str(), "cycle,deviation,current_amps\n7,-0.0125,11.5\n");
+}
+
+TEST(TraceWriterDeath, ZeroCapacity)
+{
+    EXPECT_EXIT({ TraceWriter trace(0); }, ::testing::ExitedWithCode(1),
+                "capacity");
+}
+
+TEST(SystemTrace, CapturesWaveform)
+{
+    sim::SystemConfig cfg;
+    cfg.enableTrace = true;
+    cfg.traceCapacity = 1000;
+    sim::System sys(cfg);
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(workload::specByName("sphinx"), 10'000,
+                              true),
+        1));
+    sys.run(5'000);
+    EXPECT_EQ(sys.trace().size(), 1000u);
+    const auto chron = sys.trace().chronological();
+    EXPECT_EQ(chron.back().cycle, 4'999u);
+    // Samples are real: deviations bounded, current positive.
+    for (const auto &s : chron) {
+        EXPECT_GT(s.currentAmps, 0.0);
+        EXPECT_GT(s.deviation, -0.25);
+        EXPECT_LT(s.deviation, 0.15);
+    }
+}
+
+TEST(SystemTrace, FatalWhenDisabled)
+{
+    sim::SystemConfig cfg;
+    sim::System sys(cfg);
+    EXPECT_EXIT(sys.trace(), ::testing::ExitedWithCode(1), "trace");
+}

@@ -1,0 +1,113 @@
+/** @file Tests for the trace-replay core. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "cpu/trace_core.hh"
+#include "sim/system.hh"
+
+using namespace vsmooth;
+using namespace vsmooth::cpu;
+
+namespace {
+
+ActivityTrace
+squareWave(std::size_t cycles, std::size_t period)
+{
+    ActivityTrace trace;
+    for (std::size_t i = 0; i < cycles; ++i)
+        trace.activity.push_back((i / period) % 2 ? 0.1 : 0.9);
+    return trace;
+}
+
+} // namespace
+
+TEST(ActivityTrace, ParsesStream)
+{
+    std::istringstream is("# header comment\n0.5\n\n  0.75\n1.0\n");
+    const auto trace = ActivityTrace::fromStream(is);
+    ASSERT_EQ(trace.activity.size(), 3u);
+    EXPECT_DOUBLE_EQ(trace.activity[0], 0.5);
+    EXPECT_DOUBLE_EQ(trace.activity[1], 0.75);
+    EXPECT_DOUBLE_EQ(trace.activity[2], 1.0);
+}
+
+TEST(ActivityTraceDeath, MalformedLine)
+{
+    std::istringstream is("0.5\nbogus\n");
+    EXPECT_EXIT(ActivityTrace::fromStream(is),
+                ::testing::ExitedWithCode(1), "malformed");
+}
+
+TEST(ActivityTraceDeath, OutOfRange)
+{
+    std::istringstream is("3.7\n");
+    EXPECT_EXIT(ActivityTrace::fromStream(is),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(ActivityTraceDeath, Empty)
+{
+    std::istringstream is("# only comments\n");
+    EXPECT_EXIT(ActivityTrace::fromStream(is),
+                ::testing::ExitedWithCode(1), "empty");
+}
+
+TEST(TraceCore, ReplaysExactWaveform)
+{
+    auto trace = squareWave(100, 10);
+    TraceCore core(trace, /*loop=*/false);
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(core.tick(), trace.activity[i]) << i;
+    EXPECT_TRUE(core.finished());
+    EXPECT_NEAR(core.tick(), 0.12, 1e-9); // idles afterwards
+}
+
+TEST(TraceCore, LoopsWhenAsked)
+{
+    TraceCore core(squareWave(20, 5), /*loop=*/true);
+    for (int i = 0; i < 200; ++i)
+        core.tick();
+    EXPECT_FALSE(core.finished());
+}
+
+TEST(TraceCore, StallAccountingByThreshold)
+{
+    TraceCore core(squareWave(100, 10), false, 0.3);
+    for (int i = 0; i < 100; ++i)
+        core.tick();
+    // Half of the square wave sits at 0.1 < 0.3: 50 stall cycles.
+    EXPECT_EQ(core.counters().totalStallCycles(), 50u);
+    EXPECT_NEAR(core.counters().stallRatio(), 0.5, 1e-9);
+    EXPECT_GT(core.counters().ipc(), 0.0);
+}
+
+TEST(TraceCore, RecoveryPreemptsTrace)
+{
+    TraceCore core(squareWave(1000, 10), true);
+    core.tick();
+    core.injectRecoveryStall(30);
+    std::uint64_t low = 0;
+    for (int i = 0; i < 30; ++i)
+        low += (core.tick() < 0.1);
+    EXPECT_GT(low, 25u);
+    // The trace resumes where it left off afterwards.
+    EXPECT_EQ(core.position(), 1u);
+}
+
+TEST(TraceCore, RunsInsideSystem)
+{
+    sim::SystemConfig cfg;
+    sim::System sys(cfg);
+    sys.addCore(std::make_unique<TraceCore>(squareWave(50'000, 12),
+                                            /*loop=*/true));
+    sys.addCore(std::make_unique<TraceCore>(squareWave(50'000, 18),
+                                            /*loop=*/true));
+    sys.run(100'000);
+    // A 12-cycle square wave sits near the platform resonance: the
+    // system must register meaningful noise.
+    EXPECT_GT(sys.scope().peakToPeak(), 0.02);
+    EXPECT_EQ(sys.cycles(), 100'000u);
+}

@@ -1,0 +1,220 @@
+/** @file Transient and AC analyses validated against closed forms. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ac.hh"
+#include "circuit/netlist.hh"
+#include "circuit/transient.hh"
+
+using namespace vsmooth;
+using namespace vsmooth::circuit;
+
+namespace {
+
+/** RC low-pass driven by a step: v(t) = V (1 - exp(-t/RC)). */
+struct RcFixture
+{
+    Netlist net;
+    NodeId in, out;
+    SourceId src;
+
+    RcFixture()
+    {
+        in = net.newNode();
+        out = net.newNode();
+        src = net.addVoltageSource(in, kGround, Volts(0.0));
+        net.addResistor(in, out, Ohms(1000.0));
+        net.addCapacitor(out, kGround, Farads(1e-9)); // tau = 1 us
+    }
+};
+
+} // namespace
+
+TEST(Transient, RcStepMatchesAnalytic)
+{
+    RcFixture f;
+    TransientSolver solver(f.net, Seconds(10e-9));
+    f.net.setVoltageSource(f.src, Volts(1.0));
+
+    // The trapezoidal rule averages the input over each step, so the
+    // discrete response tracks the analytic curve with a half-step
+    // time offset.
+    const double tau = 1e-6;
+    for (int k = 1; k <= 300; ++k) {
+        solver.step();
+        const double t = 10e-9 * (k - 0.5);
+        const double expect = 1.0 - std::exp(-t / tau);
+        ASSERT_NEAR(solver.nodeVoltage(f.out), expect, 2e-3)
+            << "at step " << k;
+    }
+}
+
+TEST(Transient, RlcStepOvershootMatchesAnalytic)
+{
+    // Series RLC, zeta = 0.5: overshoot = exp(-pi zeta / sqrt(1-z^2)).
+    Netlist net;
+    const NodeId n1 = net.newNode();
+    const NodeId n2 = net.newNode();
+    const NodeId n3 = net.newNode();
+    const SourceId src = net.addVoltageSource(n1, kGround, Volts(0.0));
+    net.addResistor(n1, n2, Ohms(1.0));
+    net.addInductor(n2, n3, Henries(1e-6));
+    net.addCapacitor(n3, kGround, Farads(1e-6));
+    TransientSolver solver(net, Seconds(1e-8));
+    net.setVoltageSource(src, Volts(1.0));
+    double peak = 0.0;
+    for (int i = 0; i < 3000; ++i) {
+        solver.step();
+        peak = std::max(peak, solver.nodeVoltage(n3));
+    }
+    const double zeta = 0.5;
+    const double expect =
+        1.0 + std::exp(-M_PI * zeta / std::sqrt(1.0 - zeta * zeta));
+    EXPECT_NEAR(peak, expect, 2e-3);
+    // And it settles back to the source value.
+    for (int i = 0; i < 20000; ++i)
+        solver.step();
+    EXPECT_NEAR(solver.nodeVoltage(n3), 1.0, 1e-6);
+}
+
+TEST(Transient, StartsFromDcOperatingPoint)
+{
+    RcFixture f;
+    f.net.setVoltageSource(f.src, Volts(2.0));
+    TransientSolver solver(f.net, Seconds(10e-9));
+    // Initialized at DC: the capacitor is already charged; stepping
+    // should not move the output.
+    EXPECT_NEAR(solver.nodeVoltage(f.out), 2.0, 1e-12);
+    solver.run(100);
+    EXPECT_NEAR(solver.nodeVoltage(f.out), 2.0, 1e-9);
+}
+
+TEST(Transient, CurrentSourceStepIrDrop)
+{
+    Netlist net;
+    const NodeId n = net.newNode();
+    net.addVoltageSource(n, kGround, Volts(1.0));
+    const NodeId out = net.newNode();
+    net.addResistor(n, out, Ohms(0.5));
+    net.addCapacitor(out, kGround, Farads(1e-9));
+    const SourceId load = net.addCurrentSource(out, kGround, Amps(0.0));
+    TransientSolver solver(net, Seconds(1e-9));
+    net.setCurrentSource(load, Amps(1.0));
+    solver.run(20000);
+    EXPECT_NEAR(solver.nodeVoltage(out), 0.5, 1e-6);
+}
+
+TEST(Transient, TimeAdvances)
+{
+    RcFixture f;
+    TransientSolver solver(f.net, Seconds(2e-9));
+    solver.run(5);
+    EXPECT_NEAR(solver.time().value(), 10e-9, 1e-18);
+    EXPECT_NEAR(solver.dt().value(), 2e-9, 1e-18);
+}
+
+TEST(Transient, InitFromDcResets)
+{
+    RcFixture f;
+    TransientSolver solver(f.net, Seconds(10e-9));
+    f.net.setVoltageSource(f.src, Volts(1.0));
+    solver.run(50);
+    EXPECT_GT(solver.nodeVoltage(f.out), 0.1);
+    solver.initFromDc();
+    EXPECT_NEAR(solver.nodeVoltage(f.out), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(solver.time().value(), 0.0);
+}
+
+TEST(TransientDeath, NonPositiveTimestep)
+{
+    RcFixture f;
+    EXPECT_EXIT(TransientSolver(f.net, Seconds(0.0)),
+                ::testing::ExitedWithCode(1), "positive");
+}
+
+TEST(Ac, ResistorImpedanceIsFlat)
+{
+    Netlist net;
+    const NodeId n = net.newNode();
+    net.addResistor(n, kGround, Ohms(42.0));
+    for (double f : {1e3, 1e6, 1e9}) {
+        const auto z = drivingPointImpedance(net, n, Hertz(f));
+        EXPECT_NEAR(std::abs(z), 42.0, 1e-9);
+        EXPECT_NEAR(z.imag(), 0.0, 1e-9);
+    }
+}
+
+TEST(Ac, CapacitorImpedanceRolloff)
+{
+    Netlist net;
+    const NodeId n = net.newNode();
+    net.addCapacitor(n, kGround, Farads(1e-9));
+    const double f = 1e6;
+    const auto z = drivingPointImpedance(net, n, Hertz(f));
+    EXPECT_NEAR(std::abs(z), 1.0 / (2 * M_PI * f * 1e-9), 1e-6);
+    EXPECT_LT(z.imag(), 0.0); // capacitive
+}
+
+TEST(Ac, InductorImpedanceGrows)
+{
+    Netlist net;
+    const NodeId n = net.newNode();
+    net.addInductor(n, kGround, Henries(1e-6));
+    const double f = 1e6;
+    const auto z = drivingPointImpedance(net, n, Hertz(f));
+    EXPECT_NEAR(std::abs(z), 2 * M_PI * f * 1e-6, 1e-6);
+    EXPECT_GT(z.imag(), 0.0); // inductive
+}
+
+TEST(Ac, VoltageSourceIsAcShort)
+{
+    Netlist net;
+    const NodeId n = net.newNode();
+    net.addVoltageSource(n, kGround, Volts(5.0));
+    const auto z = drivingPointImpedance(net, n, Hertz(1e6));
+    EXPECT_NEAR(std::abs(z), 0.0, 1e-12);
+}
+
+TEST(Ac, ParallelRlcResonatesAtF0)
+{
+    // L in series from stiff source, C at the node: driving-point
+    // impedance peaks at f0 = 1/(2 pi sqrt(LC)).
+    Netlist net;
+    const NodeId src = net.newNode();
+    const NodeId n = net.newNode();
+    net.addVoltageSource(src, kGround, Volts(1.0));
+    net.addResistor(src, n, Ohms(0.01));
+    net.addInductor(src, n, Henries(1e-9));
+    net.addCapacitor(n, kGround, Farads(1e-9));
+    const double f0 = 1.0 / (2 * M_PI * std::sqrt(1e-9 * 1e-9));
+    const auto sweep =
+        impedanceSweep(net, n, Hertz(f0 / 30), Hertz(f0 * 30), 121);
+    const auto peak = resonancePeak(sweep);
+    EXPECT_NEAR(peak.frequencyHz, f0, f0 * 0.1);
+}
+
+TEST(Ac, SweepIsLogSpacedInclusive)
+{
+    Netlist net;
+    const NodeId n = net.newNode();
+    net.addResistor(n, kGround, Ohms(1.0));
+    const auto sweep =
+        impedanceSweep(net, n, Hertz(1e3), Hertz(1e6), 4);
+    ASSERT_EQ(sweep.size(), 4u);
+    EXPECT_NEAR(sweep.front().frequencyHz, 1e3, 1e-6);
+    EXPECT_NEAR(sweep.back().frequencyHz, 1e6, 1e-3);
+    EXPECT_NEAR(sweep[1].frequencyHz, 1e4, 1.0);
+}
+
+TEST(AcDeath, BadSweepArguments)
+{
+    Netlist net;
+    const NodeId n = net.newNode();
+    net.addResistor(n, kGround, Ohms(1.0));
+    EXPECT_EXIT(impedanceSweep(net, n, Hertz(1e3), Hertz(1e6), 1),
+                ::testing::ExitedWithCode(1), "at least 2");
+    EXPECT_EXIT(impedanceSweep(net, n, Hertz(1e6), Hertz(1e3), 5),
+                ::testing::ExitedWithCode(1), "fLo < fHi");
+}

@@ -1,0 +1,89 @@
+/** @file Unit tests for the strong SI-unit types. */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+using namespace vsmooth;
+using namespace vsmooth::units;
+
+TEST(Units, SameUnitArithmetic)
+{
+    const Volts a{1.0}, b{0.25};
+    EXPECT_DOUBLE_EQ((a + b).value(), 1.25);
+    EXPECT_DOUBLE_EQ((a - b).value(), 0.75);
+    EXPECT_DOUBLE_EQ((-b).value(), -0.25);
+}
+
+TEST(Units, ScalarScaling)
+{
+    const Amps i{2.0};
+    EXPECT_DOUBLE_EQ((i * 3.0).value(), 6.0);
+    EXPECT_DOUBLE_EQ((3.0 * i).value(), 6.0);
+    EXPECT_DOUBLE_EQ((i / 4.0).value(), 0.5);
+}
+
+TEST(Units, RatioIsDimensionless)
+{
+    const Farads a{100e-9}, b{25e-9};
+    EXPECT_DOUBLE_EQ(a / b, 4.0);
+}
+
+TEST(Units, CompoundAssignment)
+{
+    Volts v{1.0};
+    v += Volts{0.5};
+    EXPECT_DOUBLE_EQ(v.value(), 1.5);
+    v -= Volts{0.25};
+    EXPECT_DOUBLE_EQ(v.value(), 1.25);
+    v *= 2.0;
+    EXPECT_DOUBLE_EQ(v.value(), 2.5);
+}
+
+TEST(Units, Comparisons)
+{
+    EXPECT_LT(Volts{1.0}, Volts{1.2});
+    EXPECT_GE(Amps{3.0}, Amps{3.0});
+    EXPECT_NE(Ohms{1.0}, Ohms{2.0});
+}
+
+TEST(Units, OhmsLaw)
+{
+    const Volts v = Amps{2.0} * Ohms{3.0};
+    EXPECT_DOUBLE_EQ(v.value(), 6.0);
+    EXPECT_DOUBLE_EQ((Ohms{3.0} * Amps{2.0}).value(), 6.0);
+    EXPECT_DOUBLE_EQ((Volts{6.0} / Ohms{3.0}).value(), 2.0);
+    EXPECT_DOUBLE_EQ((Volts{6.0} / Amps{2.0}).value(), 3.0);
+}
+
+TEST(Units, Power)
+{
+    EXPECT_DOUBLE_EQ((Volts{1.325} * Amps{10.0}).value(), 13.25);
+}
+
+TEST(Units, FrequencyPeriodInverse)
+{
+    const Hertz f = gigahertz(1.86);
+    const Seconds t = toPeriod(f);
+    EXPECT_NEAR(t.value(), 5.376e-10, 1e-13);
+    EXPECT_NEAR(toFrequency(t).value(), 1.86e9, 1.0);
+}
+
+TEST(Units, LiteralHelpers)
+{
+    EXPECT_DOUBLE_EQ(millivolts(150).value(), 0.15);
+    EXPECT_DOUBLE_EQ(milliohms(2.5).value(), 2.5e-3);
+    EXPECT_DOUBLE_EQ(nanofarads(390).value(), 390e-9);
+    EXPECT_DOUBLE_EQ(picohenries(6).value(), 6e-12);
+    EXPECT_DOUBLE_EQ(megahertz(100).value(), 1e8);
+    EXPECT_DOUBLE_EQ(nanoseconds(1).value(), 1e-9);
+    EXPECT_DOUBLE_EQ(microfarads(40).value(), 4e-5);
+    EXPECT_DOUBLE_EQ(kilohertz(300).value(), 3e5);
+    EXPECT_DOUBLE_EQ(picoseconds(537).value(), 5.37e-10);
+    EXPECT_DOUBLE_EQ(watts(65).value(), 65.0);
+}
+
+TEST(Units, DefaultConstructedIsZero)
+{
+    EXPECT_DOUBLE_EQ(Volts{}.value(), 0.0);
+}
