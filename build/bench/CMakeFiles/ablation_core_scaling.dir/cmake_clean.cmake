@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_core_scaling.dir/ablation_core_scaling.cc.o"
+  "CMakeFiles/ablation_core_scaling.dir/ablation_core_scaling.cc.o.d"
+  "ablation_core_scaling"
+  "ablation_core_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_core_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_future_swings.dir/fig01_future_swings.cc.o"
+  "CMakeFiles/fig01_future_swings.dir/fig01_future_swings.cc.o.d"
+  "fig01_future_swings"
+  "fig01_future_swings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_future_swings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

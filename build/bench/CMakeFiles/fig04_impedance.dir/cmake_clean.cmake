@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_impedance.dir/fig04_impedance.cc.o"
+  "CMakeFiles/fig04_impedance.dir/fig04_impedance.cc.o.d"
+  "fig04_impedance"
+  "fig04_impedance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_impedance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

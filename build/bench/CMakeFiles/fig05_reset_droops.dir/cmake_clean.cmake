@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_reset_droops.dir/fig05_reset_droops.cc.o"
+  "CMakeFiles/fig05_reset_droops.dir/fig05_reset_droops.cc.o.d"
+  "fig05_reset_droops"
+  "fig05_reset_droops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_reset_droops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

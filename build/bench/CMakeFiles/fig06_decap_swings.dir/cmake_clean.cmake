@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_decap_swings.dir/fig06_decap_swings.cc.o"
+  "CMakeFiles/fig06_decap_swings.dir/fig06_decap_swings.cc.o.d"
+  "fig06_decap_swings"
+  "fig06_decap_swings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_decap_swings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

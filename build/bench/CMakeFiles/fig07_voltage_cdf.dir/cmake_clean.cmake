@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_voltage_cdf.dir/fig07_voltage_cdf.cc.o"
+  "CMakeFiles/fig07_voltage_cdf.dir/fig07_voltage_cdf.cc.o.d"
+  "fig07_voltage_cdf"
+  "fig07_voltage_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_voltage_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

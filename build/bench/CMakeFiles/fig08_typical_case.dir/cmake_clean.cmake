@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_typical_case.dir/fig08_typical_case.cc.o"
+  "CMakeFiles/fig08_typical_case.dir/fig08_typical_case.cc.o.d"
+  "fig08_typical_case"
+  "fig08_typical_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_typical_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_future_cdf.dir/fig09_future_cdf.cc.o"
+  "CMakeFiles/fig09_future_cdf.dir/fig09_future_cdf.cc.o.d"
+  "fig09_future_cdf"
+  "fig09_future_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_future_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

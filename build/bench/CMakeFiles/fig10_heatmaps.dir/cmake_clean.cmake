@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_heatmaps.dir/fig10_heatmaps.cc.o"
+  "CMakeFiles/fig10_heatmaps.dir/fig10_heatmaps.cc.o.d"
+  "fig10_heatmaps"
+  "fig10_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tlb_overshoot.dir/fig11_tlb_overshoot.cc.o"
+  "CMakeFiles/fig11_tlb_overshoot.dir/fig11_tlb_overshoot.cc.o.d"
+  "fig11_tlb_overshoot"
+  "fig11_tlb_overshoot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tlb_overshoot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_event_swings.dir/fig12_event_swings.cc.o"
+  "CMakeFiles/fig12_event_swings.dir/fig12_event_swings.cc.o.d"
+  "fig12_event_swings"
+  "fig12_event_swings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_event_swings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_noise_phases.dir/fig14_noise_phases.cc.o"
+  "CMakeFiles/fig14_noise_phases.dir/fig14_noise_phases.cc.o.d"
+  "fig14_noise_phases"
+  "fig14_noise_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_noise_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

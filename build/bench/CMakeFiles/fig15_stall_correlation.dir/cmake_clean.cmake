@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_stall_correlation.dir/fig15_stall_correlation.cc.o"
+  "CMakeFiles/fig15_stall_correlation.dir/fig15_stall_correlation.cc.o.d"
+  "fig15_stall_correlation"
+  "fig15_stall_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_stall_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

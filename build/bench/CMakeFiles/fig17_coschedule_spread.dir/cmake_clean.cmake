@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_coschedule_spread.dir/fig17_coschedule_spread.cc.o"
+  "CMakeFiles/fig17_coschedule_spread.dir/fig17_coschedule_spread.cc.o.d"
+  "fig17_coschedule_spread"
+  "fig17_coschedule_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_coschedule_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

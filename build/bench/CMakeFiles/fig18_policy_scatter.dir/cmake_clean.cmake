@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_policy_scatter.dir/fig18_policy_scatter.cc.o"
+  "CMakeFiles/fig18_policy_scatter.dir/fig18_policy_scatter.cc.o.d"
+  "fig18_policy_scatter"
+  "fig18_policy_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_policy_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_pass_increase.dir/fig19_pass_increase.cc.o"
+  "CMakeFiles/fig19_pass_increase.dir/fig19_pass_increase.cc.o.d"
+  "fig19_pass_increase"
+  "fig19_pass_increase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_pass_increase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

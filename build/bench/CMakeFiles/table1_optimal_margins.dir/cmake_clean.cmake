@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_optimal_margins.dir/table1_optimal_margins.cc.o"
+  "CMakeFiles/table1_optimal_margins.dir/table1_optimal_margins.cc.o.d"
+  "table1_optimal_margins"
+  "table1_optimal_margins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_optimal_margins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libvsmooth_bench_util.a"
+)

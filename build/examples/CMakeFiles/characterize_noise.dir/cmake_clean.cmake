@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_noise.dir/characterize_noise.cc.o"
+  "CMakeFiles/characterize_noise.dir/characterize_noise.cc.o.d"
+  "characterize_noise"
+  "characterize_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

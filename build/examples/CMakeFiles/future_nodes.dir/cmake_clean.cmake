@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_nodes.dir/future_nodes.cc.o"
+  "CMakeFiles/future_nodes.dir/future_nodes.cc.o.d"
+  "future_nodes"
+  "future_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/noise_aware_scheduler.cc" "examples/CMakeFiles/noise_aware_scheduler.dir/noise_aware_scheduler.cc.o" "gcc" "examples/CMakeFiles/noise_aware_scheduler.dir/noise_aware_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/vsmooth_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vsmooth_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vsmooth_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vsmooth_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/vsmooth_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/vsmooth_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vsmooth_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/resilience/CMakeFiles/vsmooth_resilience.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vsmooth_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/vsmooth_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vsmooth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

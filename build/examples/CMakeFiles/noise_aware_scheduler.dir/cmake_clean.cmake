@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_aware_scheduler.dir/noise_aware_scheduler.cc.o"
+  "CMakeFiles/noise_aware_scheduler.dir/noise_aware_scheduler.cc.o.d"
+  "noise_aware_scheduler"
+  "noise_aware_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_aware_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

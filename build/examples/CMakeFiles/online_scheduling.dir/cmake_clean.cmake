@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_scheduling.dir/online_scheduling.cc.o"
+  "CMakeFiles/online_scheduling.dir/online_scheduling.cc.o.d"
+  "online_scheduling"
+  "online_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("circuit")
+subdirs("pdn")
+subdirs("tech")
+subdirs("cpu")
+subdirs("power")
+subdirs("workload")
+subdirs("noise")
+subdirs("resilience")
+subdirs("sched")
+subdirs("sim")
+subdirs("tools")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/ac.cc" "src/circuit/CMakeFiles/vsmooth_circuit.dir/ac.cc.o" "gcc" "src/circuit/CMakeFiles/vsmooth_circuit.dir/ac.cc.o.d"
+  "/root/repo/src/circuit/dc.cc" "src/circuit/CMakeFiles/vsmooth_circuit.dir/dc.cc.o" "gcc" "src/circuit/CMakeFiles/vsmooth_circuit.dir/dc.cc.o.d"
+  "/root/repo/src/circuit/netlist.cc" "src/circuit/CMakeFiles/vsmooth_circuit.dir/netlist.cc.o" "gcc" "src/circuit/CMakeFiles/vsmooth_circuit.dir/netlist.cc.o.d"
+  "/root/repo/src/circuit/transient.cc" "src/circuit/CMakeFiles/vsmooth_circuit.dir/transient.cc.o" "gcc" "src/circuit/CMakeFiles/vsmooth_circuit.dir/transient.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vsmooth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

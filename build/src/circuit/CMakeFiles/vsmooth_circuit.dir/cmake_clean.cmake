@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsmooth_circuit.dir/ac.cc.o"
+  "CMakeFiles/vsmooth_circuit.dir/ac.cc.o.d"
+  "CMakeFiles/vsmooth_circuit.dir/dc.cc.o"
+  "CMakeFiles/vsmooth_circuit.dir/dc.cc.o.d"
+  "CMakeFiles/vsmooth_circuit.dir/netlist.cc.o"
+  "CMakeFiles/vsmooth_circuit.dir/netlist.cc.o.d"
+  "CMakeFiles/vsmooth_circuit.dir/transient.cc.o"
+  "CMakeFiles/vsmooth_circuit.dir/transient.cc.o.d"
+  "libvsmooth_circuit.a"
+  "libvsmooth_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsmooth_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsmooth_common.dir/histogram.cc.o"
+  "CMakeFiles/vsmooth_common.dir/histogram.cc.o.d"
+  "CMakeFiles/vsmooth_common.dir/logging.cc.o"
+  "CMakeFiles/vsmooth_common.dir/logging.cc.o.d"
+  "CMakeFiles/vsmooth_common.dir/rng.cc.o"
+  "CMakeFiles/vsmooth_common.dir/rng.cc.o.d"
+  "CMakeFiles/vsmooth_common.dir/statistics.cc.o"
+  "CMakeFiles/vsmooth_common.dir/statistics.cc.o.d"
+  "CMakeFiles/vsmooth_common.dir/table.cc.o"
+  "CMakeFiles/vsmooth_common.dir/table.cc.o.d"
+  "libvsmooth_common.a"
+  "libvsmooth_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsmooth_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/branch_predictor.cc" "src/cpu/CMakeFiles/vsmooth_cpu.dir/branch_predictor.cc.o" "gcc" "src/cpu/CMakeFiles/vsmooth_cpu.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/cpu/cache.cc" "src/cpu/CMakeFiles/vsmooth_cpu.dir/cache.cc.o" "gcc" "src/cpu/CMakeFiles/vsmooth_cpu.dir/cache.cc.o.d"
+  "/root/repo/src/cpu/detailed_core.cc" "src/cpu/CMakeFiles/vsmooth_cpu.dir/detailed_core.cc.o" "gcc" "src/cpu/CMakeFiles/vsmooth_cpu.dir/detailed_core.cc.o.d"
+  "/root/repo/src/cpu/fast_core.cc" "src/cpu/CMakeFiles/vsmooth_cpu.dir/fast_core.cc.o" "gcc" "src/cpu/CMakeFiles/vsmooth_cpu.dir/fast_core.cc.o.d"
+  "/root/repo/src/cpu/perf_counters.cc" "src/cpu/CMakeFiles/vsmooth_cpu.dir/perf_counters.cc.o" "gcc" "src/cpu/CMakeFiles/vsmooth_cpu.dir/perf_counters.cc.o.d"
+  "/root/repo/src/cpu/stall_engine.cc" "src/cpu/CMakeFiles/vsmooth_cpu.dir/stall_engine.cc.o" "gcc" "src/cpu/CMakeFiles/vsmooth_cpu.dir/stall_engine.cc.o.d"
+  "/root/repo/src/cpu/tlb.cc" "src/cpu/CMakeFiles/vsmooth_cpu.dir/tlb.cc.o" "gcc" "src/cpu/CMakeFiles/vsmooth_cpu.dir/tlb.cc.o.d"
+  "/root/repo/src/cpu/trace_core.cc" "src/cpu/CMakeFiles/vsmooth_cpu.dir/trace_core.cc.o" "gcc" "src/cpu/CMakeFiles/vsmooth_cpu.dir/trace_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vsmooth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

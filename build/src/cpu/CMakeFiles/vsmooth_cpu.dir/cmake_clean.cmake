@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsmooth_cpu.dir/branch_predictor.cc.o"
+  "CMakeFiles/vsmooth_cpu.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/vsmooth_cpu.dir/cache.cc.o"
+  "CMakeFiles/vsmooth_cpu.dir/cache.cc.o.d"
+  "CMakeFiles/vsmooth_cpu.dir/detailed_core.cc.o"
+  "CMakeFiles/vsmooth_cpu.dir/detailed_core.cc.o.d"
+  "CMakeFiles/vsmooth_cpu.dir/fast_core.cc.o"
+  "CMakeFiles/vsmooth_cpu.dir/fast_core.cc.o.d"
+  "CMakeFiles/vsmooth_cpu.dir/perf_counters.cc.o"
+  "CMakeFiles/vsmooth_cpu.dir/perf_counters.cc.o.d"
+  "CMakeFiles/vsmooth_cpu.dir/stall_engine.cc.o"
+  "CMakeFiles/vsmooth_cpu.dir/stall_engine.cc.o.d"
+  "CMakeFiles/vsmooth_cpu.dir/tlb.cc.o"
+  "CMakeFiles/vsmooth_cpu.dir/tlb.cc.o.d"
+  "CMakeFiles/vsmooth_cpu.dir/trace_core.cc.o"
+  "CMakeFiles/vsmooth_cpu.dir/trace_core.cc.o.d"
+  "libvsmooth_cpu.a"
+  "libvsmooth_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsmooth_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noise/droop_detector.cc" "src/noise/CMakeFiles/vsmooth_noise.dir/droop_detector.cc.o" "gcc" "src/noise/CMakeFiles/vsmooth_noise.dir/droop_detector.cc.o.d"
+  "/root/repo/src/noise/scope.cc" "src/noise/CMakeFiles/vsmooth_noise.dir/scope.cc.o" "gcc" "src/noise/CMakeFiles/vsmooth_noise.dir/scope.cc.o.d"
+  "/root/repo/src/noise/timeline.cc" "src/noise/CMakeFiles/vsmooth_noise.dir/timeline.cc.o" "gcc" "src/noise/CMakeFiles/vsmooth_noise.dir/timeline.cc.o.d"
+  "/root/repo/src/noise/trace_writer.cc" "src/noise/CMakeFiles/vsmooth_noise.dir/trace_writer.cc.o" "gcc" "src/noise/CMakeFiles/vsmooth_noise.dir/trace_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vsmooth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

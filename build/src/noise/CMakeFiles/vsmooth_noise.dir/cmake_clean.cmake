@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsmooth_noise.dir/droop_detector.cc.o"
+  "CMakeFiles/vsmooth_noise.dir/droop_detector.cc.o.d"
+  "CMakeFiles/vsmooth_noise.dir/scope.cc.o"
+  "CMakeFiles/vsmooth_noise.dir/scope.cc.o.d"
+  "CMakeFiles/vsmooth_noise.dir/timeline.cc.o"
+  "CMakeFiles/vsmooth_noise.dir/timeline.cc.o.d"
+  "CMakeFiles/vsmooth_noise.dir/trace_writer.cc.o"
+  "CMakeFiles/vsmooth_noise.dir/trace_writer.cc.o.d"
+  "libvsmooth_noise.a"
+  "libvsmooth_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsmooth_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

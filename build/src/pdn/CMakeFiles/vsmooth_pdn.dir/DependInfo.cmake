@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdn/droop_analysis.cc" "src/pdn/CMakeFiles/vsmooth_pdn.dir/droop_analysis.cc.o" "gcc" "src/pdn/CMakeFiles/vsmooth_pdn.dir/droop_analysis.cc.o.d"
+  "/root/repo/src/pdn/ladder.cc" "src/pdn/CMakeFiles/vsmooth_pdn.dir/ladder.cc.o" "gcc" "src/pdn/CMakeFiles/vsmooth_pdn.dir/ladder.cc.o.d"
+  "/root/repo/src/pdn/package_config.cc" "src/pdn/CMakeFiles/vsmooth_pdn.dir/package_config.cc.o" "gcc" "src/pdn/CMakeFiles/vsmooth_pdn.dir/package_config.cc.o.d"
+  "/root/repo/src/pdn/second_order.cc" "src/pdn/CMakeFiles/vsmooth_pdn.dir/second_order.cc.o" "gcc" "src/pdn/CMakeFiles/vsmooth_pdn.dir/second_order.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/vsmooth_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vsmooth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsmooth_pdn.dir/droop_analysis.cc.o"
+  "CMakeFiles/vsmooth_pdn.dir/droop_analysis.cc.o.d"
+  "CMakeFiles/vsmooth_pdn.dir/ladder.cc.o"
+  "CMakeFiles/vsmooth_pdn.dir/ladder.cc.o.d"
+  "CMakeFiles/vsmooth_pdn.dir/package_config.cc.o"
+  "CMakeFiles/vsmooth_pdn.dir/package_config.cc.o.d"
+  "CMakeFiles/vsmooth_pdn.dir/second_order.cc.o"
+  "CMakeFiles/vsmooth_pdn.dir/second_order.cc.o.d"
+  "libvsmooth_pdn.a"
+  "libvsmooth_pdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsmooth_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsmooth_power.dir/current_model.cc.o"
+  "CMakeFiles/vsmooth_power.dir/current_model.cc.o.d"
+  "libvsmooth_power.a"
+  "libvsmooth_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsmooth_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resilience/emergency_predictor.cc" "src/resilience/CMakeFiles/vsmooth_resilience.dir/emergency_predictor.cc.o" "gcc" "src/resilience/CMakeFiles/vsmooth_resilience.dir/emergency_predictor.cc.o.d"
+  "/root/repo/src/resilience/perf_model.cc" "src/resilience/CMakeFiles/vsmooth_resilience.dir/perf_model.cc.o" "gcc" "src/resilience/CMakeFiles/vsmooth_resilience.dir/perf_model.cc.o.d"
+  "/root/repo/src/resilience/resonance_damper.cc" "src/resilience/CMakeFiles/vsmooth_resilience.dir/resonance_damper.cc.o" "gcc" "src/resilience/CMakeFiles/vsmooth_resilience.dir/resonance_damper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/vsmooth_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/vsmooth_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vsmooth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

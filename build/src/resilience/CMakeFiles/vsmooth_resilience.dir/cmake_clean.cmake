@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsmooth_resilience.dir/emergency_predictor.cc.o"
+  "CMakeFiles/vsmooth_resilience.dir/emergency_predictor.cc.o.d"
+  "CMakeFiles/vsmooth_resilience.dir/perf_model.cc.o"
+  "CMakeFiles/vsmooth_resilience.dir/perf_model.cc.o.d"
+  "CMakeFiles/vsmooth_resilience.dir/resonance_damper.cc.o"
+  "CMakeFiles/vsmooth_resilience.dir/resonance_damper.cc.o.d"
+  "libvsmooth_resilience.a"
+  "libvsmooth_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsmooth_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

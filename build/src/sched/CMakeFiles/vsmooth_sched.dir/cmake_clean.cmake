@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsmooth_sched.dir/online_scheduler.cc.o"
+  "CMakeFiles/vsmooth_sched.dir/online_scheduler.cc.o.d"
+  "CMakeFiles/vsmooth_sched.dir/oracle_matrix.cc.o"
+  "CMakeFiles/vsmooth_sched.dir/oracle_matrix.cc.o.d"
+  "CMakeFiles/vsmooth_sched.dir/pass_analysis.cc.o"
+  "CMakeFiles/vsmooth_sched.dir/pass_analysis.cc.o.d"
+  "CMakeFiles/vsmooth_sched.dir/policy.cc.o"
+  "CMakeFiles/vsmooth_sched.dir/policy.cc.o.d"
+  "CMakeFiles/vsmooth_sched.dir/sliding_window.cc.o"
+  "CMakeFiles/vsmooth_sched.dir/sliding_window.cc.o.d"
+  "libvsmooth_sched.a"
+  "libvsmooth_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsmooth_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsmooth_sim.dir/calibration.cc.o"
+  "CMakeFiles/vsmooth_sim.dir/calibration.cc.o.d"
+  "CMakeFiles/vsmooth_sim.dir/system.cc.o"
+  "CMakeFiles/vsmooth_sim.dir/system.cc.o.d"
+  "libvsmooth_sim.a"
+  "libvsmooth_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsmooth_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/itrs.cc" "src/tech/CMakeFiles/vsmooth_tech.dir/itrs.cc.o" "gcc" "src/tech/CMakeFiles/vsmooth_tech.dir/itrs.cc.o.d"
+  "/root/repo/src/tech/ring_oscillator.cc" "src/tech/CMakeFiles/vsmooth_tech.dir/ring_oscillator.cc.o" "gcc" "src/tech/CMakeFiles/vsmooth_tech.dir/ring_oscillator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vsmooth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsmooth_tech.dir/itrs.cc.o"
+  "CMakeFiles/vsmooth_tech.dir/itrs.cc.o.d"
+  "CMakeFiles/vsmooth_tech.dir/ring_oscillator.cc.o"
+  "CMakeFiles/vsmooth_tech.dir/ring_oscillator.cc.o.d"
+  "libvsmooth_tech.a"
+  "libvsmooth_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsmooth_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsmooth_cli.dir/vsmooth_cli.cc.o"
+  "CMakeFiles/vsmooth_cli.dir/vsmooth_cli.cc.o.d"
+  "vsmooth"
+  "vsmooth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsmooth_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

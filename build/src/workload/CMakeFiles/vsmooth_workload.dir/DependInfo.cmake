@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/microbench.cc" "src/workload/CMakeFiles/vsmooth_workload.dir/microbench.cc.o" "gcc" "src/workload/CMakeFiles/vsmooth_workload.dir/microbench.cc.o.d"
+  "/root/repo/src/workload/parsec.cc" "src/workload/CMakeFiles/vsmooth_workload.dir/parsec.cc.o" "gcc" "src/workload/CMakeFiles/vsmooth_workload.dir/parsec.cc.o.d"
+  "/root/repo/src/workload/spec_suite.cc" "src/workload/CMakeFiles/vsmooth_workload.dir/spec_suite.cc.o" "gcc" "src/workload/CMakeFiles/vsmooth_workload.dir/spec_suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/vsmooth_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vsmooth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

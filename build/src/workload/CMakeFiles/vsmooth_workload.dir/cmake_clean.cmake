@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsmooth_workload.dir/microbench.cc.o"
+  "CMakeFiles/vsmooth_workload.dir/microbench.cc.o.d"
+  "CMakeFiles/vsmooth_workload.dir/parsec.cc.o"
+  "CMakeFiles/vsmooth_workload.dir/parsec.cc.o.d"
+  "CMakeFiles/vsmooth_workload.dir/spec_suite.cc.o"
+  "CMakeFiles/vsmooth_workload.dir/spec_suite.cc.o.d"
+  "libvsmooth_workload.a"
+  "libvsmooth_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsmooth_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

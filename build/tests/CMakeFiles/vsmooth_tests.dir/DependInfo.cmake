@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache_tlb_bp.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_cache_tlb_bp.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_cache_tlb_bp.cc.o.d"
+  "/root/repo/tests/test_circuit.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_circuit.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_circuit.cc.o.d"
+  "/root/repo/tests/test_cores.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_cores.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_cores.cc.o.d"
+  "/root/repo/tests/test_histogram.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_histogram.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_histogram.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_mitigations.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_mitigations.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_mitigations.cc.o.d"
+  "/root/repo/tests/test_noise.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_noise.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_noise.cc.o.d"
+  "/root/repo/tests/test_online_scheduler.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_online_scheduler.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_online_scheduler.cc.o.d"
+  "/root/repo/tests/test_pdn.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_pdn.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_pdn.cc.o.d"
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_power.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_resilience.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_resilience.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_resilience.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_sched.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_sched.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_sched.cc.o.d"
+  "/root/repo/tests/test_stall_engine.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_stall_engine.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_stall_engine.cc.o.d"
+  "/root/repo/tests/test_statistics.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_statistics.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_statistics.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_tech.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_tech.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_tech.cc.o.d"
+  "/root/repo/tests/test_trace_cli.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_trace_cli.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_trace_cli.cc.o.d"
+  "/root/repo/tests/test_trace_core.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_trace_core.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_trace_core.cc.o.d"
+  "/root/repo/tests/test_transient_ac.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_transient_ac.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_transient_ac.cc.o.d"
+  "/root/repo/tests/test_units.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_units.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_units.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/vsmooth_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/vsmooth_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/vsmooth_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vsmooth_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vsmooth_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vsmooth_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/vsmooth_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/vsmooth_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vsmooth_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/resilience/CMakeFiles/vsmooth_resilience.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vsmooth_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/vsmooth_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vsmooth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
