@@ -1,5 +1,7 @@
 #include "bench_util.hh"
 
+#include "common/parallel.hh"
+
 namespace vsmooth::bench {
 
 namespace {
@@ -80,24 +82,45 @@ runPopulation(Cycles cyclesPerRun, double decapFraction,
 {
     Population pop;
     const auto &suite = workload::specCpu2006();
+    const auto &parsec = workload::parsecSuite();
+    const std::size_t nSingle = suite.size();
+    const std::size_t nParsec = parsec.size();
 
-    auto absorb = [&](const RunResult &r) {
+    // Flat task list: singles, then PARSEC, then the unordered pairs,
+    // in the historical serial order. Each task's seed derives from
+    // its index (the same `s += 17` walk the serial loop produced),
+    // so the population is bit-identical for any job count.
+    std::vector<std::pair<std::size_t, std::size_t>> pairIdx;
+    pairIdx.reserve(nSingle * (nSingle + 1) / 2);
+    for (std::size_t i = 0; i < nSingle; ++i)
+        for (std::size_t j = i; j < nSingle; ++j)
+            pairIdx.emplace_back(i, j);
+    const std::size_t total = nSingle + nParsec + pairIdx.size();
+    auto seedFor = [seed](std::size_t t) {
+        return seed + 17ULL * (t + 1);
+    };
+
+    const auto results =
+        parallelMap<RunResult>(total, [&](std::size_t t) {
+            if (t < nSingle) {
+                return runSingle(suite[t], cyclesPerRun, decapFraction,
+                                 seedFor(t));
+            }
+            if (t < nSingle + nParsec) {
+                return runParsec(parsec[t - nSingle], cyclesPerRun,
+                                 decapFraction, seedFor(t));
+            }
+            const auto [i, j] = pairIdx[t - nSingle - nParsec];
+            return runPair(suite[i], suite[j], cyclesPerRun,
+                           decapFraction, seedFor(t));
+        });
+
+    // Merge after the join, in index order.
+    for (const auto &r : results) {
         pop.scope.merge(r.scope);
         pop.emergencies.merge(r.emergencies);
         pop.tailFractions.push_back(r.scope.fractionBelow(-0.04));
         ++pop.runs;
-    };
-
-    std::uint64_t s = seed;
-    for (const auto &b : suite)
-        absorb(runSingle(b, cyclesPerRun, decapFraction, s += 17));
-    for (const auto &b : workload::parsecSuite())
-        absorb(runParsec(b, cyclesPerRun, decapFraction, s += 17));
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-        for (std::size_t j = i; j < suite.size(); ++j) {
-            absorb(runPair(suite[i], suite[j], cyclesPerRun,
-                           decapFraction, s += 17));
-        }
     }
     return pop;
 }

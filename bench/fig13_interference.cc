@@ -13,6 +13,7 @@
 #include <iostream>
 #include <memory>
 
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "cpu/detailed_core.hh"
 #include "sim/system.hh"
@@ -55,34 +56,43 @@ main()
         idle = sys.scope().visualPeakToPeak();
     }
 
-    // Single-core max (for the +42 % comparison).
-    double single_max = 0.0;
-    for (auto kind : workload::kEventMicrobenchmarks) {
+    const auto &kinds = workload::kEventMicrobenchmarks;
+    const std::size_t nk = kinds.size();
+
+    // Single-core max (for the +42 % comparison); every cell is an
+    // independent simulation, so the sweeps fan out over the pool.
+    const auto singles = parallelMap<double>(nk, [&](std::size_t k) {
         sim::SystemConfig cfg;
         sim::System sys(cfg);
-        auto s0 = workload::makeMicrobenchmark(kind, 7);
+        auto s0 = workload::makeMicrobenchmark(kinds[k], 7);
         sys.addCore(std::make_unique<cpu::DetailedCore>(
             cpu::DetailedCoreParams{}, *s0));
         sys.addCore(std::make_unique<cpu::FastCore>(
             workload::idleSchedule(1000), 43));
         sys.run(1'500'000);
-        single_max = std::max(single_max,
-                              sys.scope().visualPeakToPeak() / idle);
-    }
+        return sys.scope().visualPeakToPeak() / idle;
+    });
+    const double single_max =
+        *std::max_element(singles.begin(), singles.end());
+
+    // The 5x5 dual-core interference grid, row-major.
+    const auto grid = parallelMap<double>(nk * nk, [&](std::size_t t) {
+        return runPairP2p(kinds[t / nk], kinds[t % nk]) / idle;
+    });
 
     TextTable table(
         "Fig 13: dual-core p2p swing relative to idle (Core0 x Core1)");
     std::vector<std::string> header = {"Core0 \\ Core1"};
-    for (auto k : workload::kEventMicrobenchmarks)
+    for (auto k : kinds)
         header.emplace_back(workload::microbenchName(k));
     table.setHeader(header);
 
     double pair_max = 0.0;
-    for (auto k0 : workload::kEventMicrobenchmarks) {
+    for (std::size_t r = 0; r < nk; ++r) {
         std::vector<std::string> row = {
-            std::string(workload::microbenchName(k0))};
-        for (auto k1 : workload::kEventMicrobenchmarks) {
-            const double rel = runPairP2p(k0, k1) / idle;
+            std::string(workload::microbenchName(kinds[r]))};
+        for (std::size_t c = 0; c < nk; ++c) {
+            const double rel = grid[r * nk + c];
             pair_max = std::max(pair_max, rel);
             row.push_back(TextTable::num(rel, 2));
         }

@@ -9,13 +9,16 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "circuit/transient.hh"
+#include "common/parallel.hh"
 #include "cpu/detailed_core.hh"
 #include "cpu/fast_core.hh"
 #include "circuit/ac.hh"
 #include "pdn/ladder.hh"
 #include "pdn/second_order.hh"
+#include "sched/oracle_matrix.hh"
 #include "sim/system.hh"
 #include "workload/microbench.hh"
 #include "workload/spec_suite.hh"
@@ -92,6 +95,66 @@ BM_LadderTransientStep(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LadderTransientStep);
+
+/**
+ * parallelFor scaling over a fixed population of System::run tasks.
+ * Arg = job count (0 = hardware default); wall-clock speedup vs
+ * Arg(1) is the number the perf trajectory tracks.
+ */
+void
+BM_ParallelForSystemRun(benchmark::State &state)
+{
+    setJobs(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        parallelFor(0, 8, [](std::size_t i) {
+            sim::SystemConfig cfg;
+            cfg.osTickInterval = sim::kCompressedOsTick;
+            sim::System sys(cfg);
+            sys.addCore(std::make_unique<cpu::FastCore>(
+                workload::scheduleFor(workload::specByName("sphinx"),
+                                      40'000, true),
+                i + 1));
+            sys.addCore(std::make_unique<cpu::FastCore>(
+                workload::scheduleFor(workload::specByName("mcf"),
+                                      40'000, true),
+                i + 100));
+            sys.run(40'000);
+            benchmark::DoNotOptimize(sys.scope().maxDroop());
+        });
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+    setJobs(0);
+}
+BENCHMARK(BM_ParallelForSystemRun)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/**
+ * OracleMatrix pre-run phase on a reduced 8-benchmark suite (36 pairs
+ * + 8 singles). Arg = job count; the full 29-benchmark sweep scales
+ * the same way.
+ */
+void
+BM_OracleMatrixBuild8(benchmark::State &state)
+{
+    setJobs(static_cast<std::size_t>(state.range(0)));
+    const auto &full = workload::specCpu2006();
+    const std::vector<workload::SpecBenchmark> suite(full.begin(),
+                                                     full.begin() + 8);
+    sched::OracleConfig cfg;
+    cfg.cyclesPerPair = 60'000;
+    for (auto _ : state) {
+        const sched::OracleMatrix m(suite, cfg);
+        benchmark::DoNotOptimize(m.pair(0, 1).ipc);
+    }
+    state.SetItemsProcessed(state.iterations() * (8 * 9 / 2 + 8));
+    setJobs(0);
+}
+BENCHMARK(BM_OracleMatrixBuild8)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void
 BM_ImpedancePoint(benchmark::State &state)

@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "sched/pass_analysis.hh"
 #include "sched/policy.hh"
@@ -30,8 +31,10 @@ main()
     cfg.system.package =
         pdn::PackageConfig::core2duo().withDecapFraction(0.03);
     cfg.cyclesPerPair = 250'000;
+    // The pre-run phase fans out over the thread pool (pin with
+    // VSMOOTH_JOBS; the job count never changes the profiles).
     std::cout << "measuring " << jobs.size() << "x" << jobs.size()
-              << " co-schedule profiles...\n";
+              << " co-schedule profiles (" << numJobs() << " jobs)...\n";
     const sched::OracleMatrix matrix(jobs, cfg);
 
     // Two copies of each job -> 8 pairs per schedule.

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic parallel sweep engine.
+ *
+ * Every headline experiment is a population of independent
+ * simulations (the 29x29 oracle matrix, the Fig 7/9 CDF populations,
+ * the interference grids). parallelFor() fans such a sweep out over a
+ * lazily-started, process-wide thread pool while preserving the
+ * repo's bit-for-bit reproducibility invariant (DESIGN.md):
+ *
+ *   - every task derives its own seed from its *index*, never from
+ *     execution order;
+ *   - results are written into pre-sized slots by index, so the
+ *     output is identical for any job count;
+ *   - reductions (histogram / profile merges) happen after the join,
+ *     in index order, on the calling thread.
+ *
+ * The pool size defaults to std::thread::hardware_concurrency(), can
+ * be pinned via the VSMOOTH_JOBS environment variable, and overridden
+ * at runtime with setJobs(). Jobs == 1 degenerates to the plain
+ * serial loop on the calling thread (no pool threads are started), so
+ * `VSMOOTH_JOBS=1` reproduces the historical single-threaded runs
+ * exactly — including their execution order.
+ */
+
+#ifndef VSMOOTH_COMMON_PARALLEL_HH
+#define VSMOOTH_COMMON_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace vsmooth {
+
+/**
+ * Effective job count used by the next parallelFor (>= 1): the
+ * setJobs() override if set, else VSMOOTH_JOBS, else
+ * hardware_concurrency.
+ */
+std::size_t numJobs();
+
+/**
+ * Override the pool size. 0 restores the default (VSMOOTH_JOBS env
+ * var, else hardware_concurrency). Thread-safe; takes effect on the
+ * next parallelFor.
+ */
+void setJobs(std::size_t n);
+
+/**
+ * Run fn(i) for every i in [begin, end) across the pool.
+ *
+ * The range is split into at most numJobs() statically-sized
+ * contiguous chunks; each index is executed exactly once. The call
+ * returns after every index has completed. The first exception thrown
+ * by fn is rethrown on the calling thread (remaining undispatched
+ * chunks are abandoned). Nested calls — fn itself calling
+ * parallelFor — run serially inline on the worker, so they are safe
+ * but gain no extra parallelism.
+ */
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)> &fn);
+
+/**
+ * Evaluate fn(i) for i in [0, n) and collect the results in order.
+ *
+ * Each result is written into its pre-sized slot by index, so the
+ * returned vector is identical for any job count. T must be
+ * default-constructible and assignable.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+parallelMap(std::size_t n, Fn fn)
+{
+    std::vector<T> out(n);
+    parallelFor(0, n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+} // namespace vsmooth
+
+#endif // VSMOOTH_COMMON_PARALLEL_HH

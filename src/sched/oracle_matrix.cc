@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "cpu/fast_core.hh"
 #include "workload/microbench.hh"
 
@@ -18,13 +19,31 @@ OracleMatrix::OracleMatrix(
     pairs_.resize(n_ * (n_ + 1) / 2);
     singles_.resize(n_);
 
+    // Every measurement is an independent simulation whose seed
+    // derives from (i, j) alone, so the matrix can be built in
+    // parallel: each task writes its precomputed triangular slot and
+    // the result is bit-identical for any job count.
+    struct Task
+    {
+        std::size_t i, j;
+        bool idleSecond;
+        PairProfile *out;
+    };
+    std::vector<Task> tasks;
+    tasks.reserve(singles_.size() + pairs_.size());
+    for (std::size_t i = 0; i < n_; ++i)
+        tasks.push_back({i, i, true, &singles_[i]});
     for (std::size_t i = 0; i < n_; ++i) {
-        singles_[i] = measure(i, i, /*idleSecond=*/true);
         for (std::size_t j = i; j < n_; ++j) {
-            const std::size_t idx = i * n_ - i * (i + 1) / 2 + j;
-            pairs_[idx] = measure(i, j, /*idleSecond=*/false);
+            tasks.push_back(
+                {i, j, false, &pairs_[i * n_ - i * (i + 1) / 2 + j]});
         }
     }
+
+    parallelFor(0, tasks.size(), [&](std::size_t t) {
+        const Task &task = tasks[t];
+        *task.out = measure(task.i, task.j, task.idleSecond);
+    });
 }
 
 const PairProfile &
@@ -38,7 +57,7 @@ OracleMatrix::pair(std::size_t i, std::size_t j) const
 }
 
 PairProfile
-OracleMatrix::measure(std::size_t i, std::size_t j, bool idleSecond)
+OracleMatrix::measure(std::size_t i, std::size_t j, bool idleSecond) const
 {
     sim::SystemConfig sys_cfg = cfg_.system;
     sys_cfg.osTickInterval = sim::kCompressedOsTick;

@@ -74,7 +74,8 @@ class OracleMatrix
     const OracleConfig &config() const { return cfg_; }
 
   private:
-    PairProfile measure(std::size_t i, std::size_t j, bool idleSecond);
+    PairProfile measure(std::size_t i, std::size_t j,
+                        bool idleSecond) const;
 
     std::vector<workload::SpecBenchmark> suite_;
     OracleConfig cfg_;

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "cpu/fast_core.hh"
 #include "workload/microbench.hh"
 
@@ -67,11 +68,17 @@ slidingWindowExperiment(const workload::SpecBenchmark &progX,
         workload::scheduleFor(progY, baseLength, /*loop=*/false),
         windowCycles);
 
-    result.coScheduled = runOnce(progX, y_window, windowCycles,
-                                 baseLength, cfg, seed);
-    result.singleCore =
-        runOnce(progX, workload::idleSchedule(1000), windowCycles,
-                baseLength, cfg, seed + 100);
+    // The co-scheduled and single-core sweeps are independent full
+    // runs of X; fan them out and collect by index.
+    auto series = parallelMap<std::vector<double>>(2, [&](std::size_t k) {
+        return k == 0
+            ? runOnce(progX, y_window, windowCycles, baseLength, cfg,
+                      seed)
+            : runOnce(progX, workload::idleSchedule(1000), windowCycles,
+                      baseLength, cfg, seed + 100);
+    });
+    result.coScheduled = std::move(series[0]);
+    result.singleCore = std::move(series[1]);
     return result;
 }
 

@@ -51,10 +51,15 @@ System::addCore(std::unique_ptr<cpu::CoreModel> core)
 void
 System::tick()
 {
-    if (cores_.empty())
+    // tick() runs hundreds of millions of times per sweep: hoist the
+    // core count, mitigation handles, and config flags into locals so
+    // the loop bodies stay tight.
+    const std::size_t nCores = cores_.size();
+    if (nCores == 0)
         fatal("System: no cores attached");
     if (!started_) {
         started_ = true;
+        coreCurrents_.resize(nCores);
         // Settle the PDN at the initial combined idle current so the
         // first samples are not a spurious power-on transient.
         double idle = 0.0;
@@ -65,13 +70,13 @@ System::tick()
             // Each rail owns an equal share of the decap (and of the
             // parallel delivery paths, so L and R scale up).
             auto params = pdn::secondOrderEquivalent(cfg_.package);
-            const double n = static_cast<double>(cores_.size());
+            const double n = static_cast<double>(nCores);
             params.c = params.c / n;
             params.l = params.l * n;
             params.rSeries = params.rSeries * n;
             params.rDamp = params.rDamp * n;
             rails_.clear();
-            for (std::size_t i = 0; i < cores_.size(); ++i) {
+            for (std::size_t i = 0; i < nCores; ++i) {
                 rails_.emplace_back(params,
                                     toPeriod(cfg_.clockFrequency),
                                     cfg_.package.rippleFraction,
@@ -81,13 +86,19 @@ System::tick()
         }
     }
 
+    resilience::EmergencyPredictor *const predictor =
+        predictor_ ? &*predictor_ : nullptr;
+    resilience::ResonanceDamper *const damper =
+        damper_ ? &*damper_ : nullptr;
+    const bool split = cfg_.splitSupplies;
+
     if (cfg_.osTickInterval > 0) {
         // Interrupt delivery is staggered across cores (IPI latency,
         // per-core APIC timers), so one core's restart surge lands
         // while the other is still running its workload — their
         // superposition is what couples deep droops to the
         // co-runner's noise.
-        for (std::size_t i = 0; i < cores_.size(); ++i) {
+        for (std::size_t i = 0; i < nCores; ++i) {
             if ((cycles_ + i * 517) % cfg_.osTickInterval ==
                 cfg_.osTickInterval - 1) {
                 cores_[i]->injectPlatformInterrupt();
@@ -97,46 +108,46 @@ System::tick()
 
     // Mitigation throttle decision for this cycle (evaluated before
     // the cores advance, from last cycle's observations).
-    bool throttle = false;
-    if (predictor_ && predictor_->shouldThrottle())
-        throttle = true;
-    if (damper_ && damper_->feed(pdn_.voltageDeviation()))
+    bool throttle = predictor && predictor->shouldThrottle();
+    if (damper && damper->feed(pdn_.voltageDeviation()))
         throttle = true;
 
     double total = 0.0;
-    coreCurrents_.resize(cores_.size());
-    for (std::size_t i = 0; i < cores_.size(); ++i) {
+    const double throttleFactor = cfg_.throttleFactor;
+    for (std::size_t i = 0; i < nCores; ++i) {
         double activity = cores_[i]->tick();
         if (throttle)
-            activity *= cfg_.throttleFactor;
+            activity *= throttleFactor;
         coreCurrents_[i] = currents_[i].currentFor(activity);
         total += coreCurrents_[i];
     }
     lastCurrent_ = total;
 
-    // Feed newly started events to the signature predictor.
-    if (predictor_) {
-        for (std::size_t i = 0; i < cores_.size(); ++i) {
+    // Feed newly started events to the signature predictor: a tight
+    // diff of the per-cause counters against the last-seen snapshot.
+    if (predictor) {
+        for (std::size_t i = 0; i < nCores; ++i) {
             const auto &ctr = cores_[i]->counters();
+            auto &last = lastEventCounts_[i];
             for (std::size_t c = 1;
                  c < cpu::PerfCounters::kNumCauses; ++c) {
                 const auto cause = static_cast<cpu::StallCause>(c);
                 const std::uint64_t n = ctr.eventCount(cause);
-                if (n != lastEventCounts_[i][c]) {
-                    lastEventCounts_[i][c] = n;
-                    predictor_->observeEvent(i, cause);
+                if (n != last[c]) {
+                    last[c] = n;
+                    predictor->observeEvent(i, cause);
                 }
             }
         }
     }
 
     double dev;
-    if (cfg_.splitSupplies) {
+    if (split) {
         // Step each rail with its own core's current; the chip-level
         // deviation sample is the worst rail (a violation anywhere
         // forces a global recovery).
         double worst = 1e9;
-        for (std::size_t i = 0; i < cores_.size(); ++i) {
+        for (std::size_t i = 0; i < nCores; ++i) {
             rails_[i].step(coreCurrents_[i]);
             worst = std::min(worst, rails_[i].voltageDeviation());
         }
@@ -156,8 +167,8 @@ System::tick()
 
     if (emergencyDetector_ && emergencyDetector_->feed(dev)) {
         ++emergencies_;
-        if (predictor_)
-            predictor_->observeEmergency();
+        if (predictor)
+            predictor->observeEmergency();
         for (auto &core : cores_)
             core->injectRecoveryStall(cfg_.recoveryCostCycles);
     }
@@ -175,17 +186,32 @@ System::run(Cycles n)
 Cycles
 System::runUntilFinished(Cycles maxCycles)
 {
+    // Cache which cores have reported finished so the per-cycle scan
+    // skips their (virtual) finished() calls. A finished core can
+    // regress — a later platform interrupt or chip-wide recovery
+    // re-enters a stall event — so when the cached count reaches zero
+    // the full scan re-runs once as confirmation before breaking.
+    const std::size_t nCores = cores_.size();
+    std::vector<std::uint8_t> done(nCores, 0);
+    std::size_t remaining = nCores;
     Cycles executed = 0;
     while (executed < maxCycles) {
-        bool all_done = true;
-        for (const auto &core : cores_) {
-            if (!core->finished()) {
-                all_done = false;
-                break;
+        for (std::size_t i = 0; i < nCores; ++i) {
+            if (!done[i] && cores_[i]->finished()) {
+                done[i] = 1;
+                --remaining;
             }
         }
-        if (all_done)
-            break;
+        if (remaining == 0) {
+            for (std::size_t i = 0; i < nCores; ++i) {
+                if (!cores_[i]->finished()) {
+                    done[i] = 0;
+                    ++remaining;
+                }
+            }
+            if (remaining == 0)
+                break;
+        }
         tick();
         ++executed;
     }

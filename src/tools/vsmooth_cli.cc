@@ -23,6 +23,12 @@
  *   --split          split per-core supplies
  *   --trace FILE     write a CSV waveform trace of the last 64K cycles
  *   --seed S         RNG seed
+ *
+ * Global options:
+ *   --jobs N         worker threads for parallel sweeps (default: all
+ *                    cores; 1 forces the serial path). Equivalent to
+ *                    the VSMOOTH_JOBS environment variable; results
+ *                    are identical for any job count.
  */
 
 #include <cstdint>
@@ -36,6 +42,7 @@
 
 #include "circuit/ac.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "cpu/fast_core.hh"
 #include "pdn/droop_analysis.hh"
@@ -61,7 +68,9 @@ usage()
            "  vsmooth reset-droop [--decap F]\n"
            "run options: --decap F --cycles N --margin M --recovery N\n"
            "             --predictor --damper --split --trace FILE"
-           " --seed S\n";
+           " --seed S\n"
+           "global options: --jobs N (worker threads for sweeps;"
+           " 1 = serial)\n";
     std::exit(2);
 }
 
@@ -275,6 +284,11 @@ main(int argc, char **argv)
         } else if (arg == "--seed") {
             opt.seed = static_cast<std::uint64_t>(
                 parseDouble(next(), "--seed"));
+        } else if (arg == "--jobs") {
+            const double v = parseDouble(next(), "--jobs");
+            if (v < 1.0)
+                fatal("--jobs needs a positive thread count");
+            setJobs(static_cast<std::size_t>(v));
         } else if (!arg.empty() && arg[0] == '-') {
             usage();
         } else {

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the deterministic parallel sweep engine: thread-pool
+ * semantics (every index exactly once, exception propagation, nested
+ * calls) and the repo's core invariant that the job count never
+ * changes results (OracleMatrix and merged-histogram populations are
+ * bit-identical for jobs=1 vs jobs=4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "cpu/fast_core.hh"
+#include "noise/scope.hh"
+#include "sched/oracle_matrix.hh"
+#include "sim/system.hh"
+#include "workload/microbench.hh"
+#include "workload/spec_suite.hh"
+
+using namespace vsmooth;
+
+namespace {
+
+/** Restores the default job count when a test returns. */
+struct JobsGuard
+{
+    ~JobsGuard() { setJobs(0); }
+};
+
+std::vector<workload::SpecBenchmark>
+smallSuite()
+{
+    std::vector<workload::SpecBenchmark> suite;
+    for (const char *name : {"hmmer", "sphinx", "mcf", "lbm"})
+        suite.push_back(workload::specByName(name));
+    return suite;
+}
+
+sched::OracleMatrix
+buildMatrix(std::size_t jobs)
+{
+    JobsGuard guard;
+    setJobs(jobs);
+    sched::OracleConfig cfg;
+    cfg.cyclesPerPair = 60'000;
+    return sched::OracleMatrix(smallSuite(), cfg);
+}
+
+void
+expectProfilesIdentical(const sched::PairProfile &a,
+                        const sched::PairProfile &b)
+{
+    EXPECT_EQ(a.droopsPer1k, b.droopsPer1k);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.emergencies.margins, b.emergencies.margins);
+    EXPECT_EQ(a.emergencies.counts, b.emergencies.counts);
+    EXPECT_EQ(a.emergencies.cycles, b.emergencies.cycles);
+}
+
+noise::Scope
+runScope(std::uint64_t seed)
+{
+    sim::SystemConfig cfg;
+    cfg.osTickInterval = sim::kCompressedOsTick;
+    sim::System sys(cfg);
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(workload::specByName("mcf"), 30'000, true),
+        seed));
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::idleSchedule(1000), seed + 1));
+    sys.run(30'000);
+    return sys.scope();
+}
+
+} // namespace
+
+TEST(Parallel, EmptyRangeNeverCalls)
+{
+    std::atomic<int> calls{0};
+    parallelFor(5, 5, [&](std::size_t) { ++calls; });
+    parallelFor(7, 3, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Parallel, EveryIndexExactlyOnce)
+{
+    JobsGuard guard;
+    setJobs(4);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    parallelFor(0, kN, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, RangeSmallerThanThreadCount)
+{
+    JobsGuard guard;
+    setJobs(8);
+    std::vector<std::atomic<int>> hits(3);
+    parallelFor(0, 3, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, ExceptionPropagatesAndPoolSurvives)
+{
+    JobsGuard guard;
+    setJobs(4);
+    EXPECT_THROW(
+        parallelFor(0, 64,
+                    [](std::size_t i) {
+                        if (i == 7)
+                            throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+
+    // The pool must be fully usable after a failed sweep.
+    std::atomic<int> calls{0};
+    parallelFor(0, 16, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(Parallel, NestedCallsRunInlineWithoutDeadlock)
+{
+    JobsGuard guard;
+    setJobs(4);
+    std::atomic<int> inner{0};
+    parallelFor(0, 4, [&](std::size_t) {
+        parallelFor(0, 8, [&](std::size_t) { ++inner; });
+    });
+    EXPECT_EQ(inner.load(), 32);
+}
+
+TEST(Parallel, SetJobsOverridesAndRestores)
+{
+    JobsGuard guard;
+    setJobs(3);
+    EXPECT_EQ(numJobs(), 3u);
+    setJobs(0);
+    EXPECT_GE(numJobs(), 1u);
+}
+
+TEST(Parallel, ParallelMapPreservesIndexOrder)
+{
+    JobsGuard guard;
+    setJobs(4);
+    const auto squares =
+        parallelMap<std::size_t>(100, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(squares.size(), 100u);
+    for (std::size_t i = 0; i < squares.size(); ++i)
+        EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(Parallel, OracleMatrixIdenticalAcrossJobCounts)
+{
+    const auto serial = buildMatrix(1);
+    const auto parallel = buildMatrix(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        expectProfilesIdentical(serial.single(i), parallel.single(i));
+        for (std::size_t j = i; j < serial.size(); ++j)
+            expectProfilesIdentical(serial.pair(i, j),
+                                    parallel.pair(i, j));
+    }
+}
+
+TEST(Parallel, MergedHistogramCdfIdenticalAcrossJobCounts)
+{
+    // The Fig 7/9 aggregation pattern: per-run scopes produced in
+    // parallel, merged after the join in index order.
+    auto population = [](std::size_t jobs) {
+        JobsGuard guard;
+        setJobs(jobs);
+        const auto scopes = parallelMap<noise::Scope>(
+            6, [](std::size_t k) { return runScope(100 + 17 * k); });
+        noise::Scope merged;
+        for (const auto &s : scopes)
+            merged.merge(s);
+        return merged;
+    };
+
+    const auto serial = population(1);
+    const auto parallel = population(4);
+    const auto &ha = serial.histogram();
+    const auto &hb = parallel.histogram();
+    ASSERT_EQ(ha.numBins(), hb.numBins());
+    EXPECT_EQ(ha.totalCount(), hb.totalCount());
+    EXPECT_EQ(ha.minSample(), hb.minSample());
+    EXPECT_EQ(ha.maxSample(), hb.maxSample());
+    for (std::size_t i = 0; i < ha.numBins(); ++i)
+        EXPECT_EQ(ha.binCount(i), hb.binCount(i)) << "bin " << i;
+}
