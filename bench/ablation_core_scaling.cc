@@ -12,6 +12,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "cpu/fast_core.hh"
 #include "sim/system.hh"
@@ -30,6 +31,7 @@ main()
     t.setHeader({"cores", "visual p2p (%)", "max droop (%)",
                  "droops/1K (2.3%)", "beyond -4% (%)"});
 
+    auto result = bench::makeResult("ablation_core_scaling");
     for (std::size_t n : {1u, 2u, 4u, 8u}) {
         sim::SystemConfig cfg;
         sim::System sys(cfg);
@@ -47,8 +49,17 @@ main()
                       1000.0 * sys.scope().fractionBelow(-0.023), 1),
                   TextTable::num(
                       sys.scope().fractionBelow(-0.04) * 100, 3)});
+        const std::string cores = TextTable::num(
+            static_cast<std::uint64_t>(n));
+        result.metric("visual_p2p_pct_" + cores + "core",
+                      sys.scope().visualPeakToPeak() * 100);
+        result.metric("max_droop_pct_" + cores + "core",
+                      sys.scope().maxDroop() * 100);
+        result.seriesPoint("droops_per_1k",
+                           1000.0 * sys.scope().fractionBelow(-0.023));
     }
     t.print(std::cout);
+    bench::emitResult(result);
     std::cout << "\nExpected: swings and margin violations grow with"
                  " active cores on a shared supply (the paper's Sec"
                  " III-C multi-core argument), which is what makes"

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "cpu/fast_core.hh"
 #include "sim/system.hh"
@@ -76,21 +77,29 @@ main()
     const struct
     {
         const char *name;
+        const char *tag;
         bool predictor, damper, split;
     } configs[] = {
-        {"connected rail, no mitigation", false, false, false},
-        {"+ signature predictor [29]", true, false, false},
-        {"+ resonance damper [17,18]", false, true, false},
-        {"+ both", true, true, false},
-        {"split per-core rails [1]", false, false, true},
+        {"connected rail, no mitigation", "baseline", false, false, false},
+        {"+ signature predictor [29]", "predictor", true, false, false},
+        {"+ resonance damper [17,18]", "damper", false, true, false},
+        {"+ both", "both", true, true, false},
+        {"split per-core rails [1]", "split", false, false, true},
     };
+    auto result = bench::makeResult("ablation_mitigations");
     for (const auto &c : configs) {
         const auto o = run(c.predictor, c.damper, c.split);
         t.addRow({c.name, TextTable::num(o.emergencies),
                   TextTable::num(o.ipc, 2),
                   TextTable::num(o.throttledPct, 1)});
+        result.metric(std::string("emergencies_") + c.tag,
+                      static_cast<double>(o.emergencies));
+        result.metric(std::string("ipc_") + c.tag, o.ipc);
+        result.metric(std::string("throttled_pct_") + c.tag,
+                      o.throttledPct);
     }
     t.print(std::cout);
+    bench::emitResult(result);
     std::cout << "\nExpected: both mitigations cut emergencies at a"
                  " small throughput cost; split rails make noise"
                  " worse (the paper's footnote 3), which is why the"

@@ -16,6 +16,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "cpu/detailed_core.hh"
 #include "cpu/fast_core.hh"
@@ -59,6 +60,7 @@ runSphinx(double smoothingTau, double l2Scale)
 int
 main()
 {
+    auto result = bench::makeResult("ablation_noise_model");
     {
         TextTable t("Ablation 1: current-edge smoothing tau (cycles)");
         t.setHeader({"tau", "droops/1K", "max droop (%)"});
@@ -67,6 +69,8 @@ main()
             t.addRow({TextTable::num(tau, 1),
                       TextTable::num(p.droopsPer1k, 1),
                       TextTable::num(p.maxDroopPct, 2)});
+            result.seriesPoint("smoothing_droops_per_1k", p.droopsPer1k);
+            result.seriesPoint("smoothing_max_droop_pct", p.maxDroopPct);
         }
         t.print(std::cout);
         std::cout << "\n";
@@ -96,6 +100,9 @@ main()
         for (std::size_t k = 0; k < releases.size(); ++k) {
             t.addRow({TextTable::num(releases[k], 2),
                       TextTable::num(detectors[k].eventCount())});
+            result.seriesPoint(
+                "release_events_per_1m",
+                static_cast<double>(detectors[k].eventCount()));
         }
         t.print(std::cout);
         std::cout << "\n";
@@ -109,6 +116,8 @@ main()
             t.addRow({TextTable::num(s, 2),
                       TextTable::num(p.droopsPer1k, 1),
                       TextTable::num(p.stallRatio, 2)});
+            result.seriesPoint("l2scale_droops_per_1k", p.droopsPer1k);
+            result.seriesPoint("l2scale_stall_ratio", p.stallRatio);
         }
         t.print(std::cout);
         std::cout << "\n";
@@ -140,9 +149,15 @@ main()
                          sys.scope().visualPeakToPeak() * 100, 2),
                      TextTable::num(
                          sys.core(0).counters().stallRatio(), 2)});
+                result.metric(
+                    std::string("p2p_pct_") +
+                        std::string(workload::microbenchName(kind)) +
+                        (detailed ? "_detailed" : "_fast"),
+                    sys.scope().visualPeakToPeak() * 100);
             }
         }
         t.print(std::cout);
     }
+    bench::emitResult(result);
     return 0;
 }

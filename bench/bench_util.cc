@@ -1,6 +1,14 @@
 #include "bench_util.hh"
 
+#include <cstdlib>
+#include <fstream>
+
+#include "common/logging.hh"
 #include "common/parallel.hh"
+
+#ifndef VSMOOTH_GIT_DESCRIBE
+#define VSMOOTH_GIT_DESCRIBE "unknown"
+#endif
 
 namespace vsmooth::bench {
 
@@ -123,6 +131,38 @@ runPopulation(Cycles cyclesPerRun, double decapFraction,
         ++pop.runs;
     }
     return pop;
+}
+
+Result
+makeResult(std::string experiment, std::uint64_t seed)
+{
+    Result r(std::move(experiment));
+    r.setSeed(seed);
+    r.setJobs(numJobs());
+    r.setGitDescribe(VSMOOTH_GIT_DESCRIBE);
+    return r;
+}
+
+void
+emitResult(const Result &r)
+{
+    std::string path;
+    if (const char *file = std::getenv("VSMOOTH_RESULT_FILE");
+        file && *file) {
+        path = file;
+    } else if (const char *dir = std::getenv("VSMOOTH_RESULT_DIR");
+               dir && *dir) {
+        path = std::string(dir) + "/" + r.experiment() + ".json";
+    } else {
+        return;
+    }
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write result file '%s'", path.c_str());
+    r.toJson().write(out, 2);
+    out << "\n";
+    if (!out.good())
+        fatal("error writing result file '%s'", path.c_str());
 }
 
 } // namespace vsmooth::bench

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hh"
 #include "cpu/fast_core.hh"
 #include "noise/scope.hh"
 #include "resilience/perf_model.hh"
@@ -73,6 +74,23 @@ struct Population
 
 Population runPopulation(Cycles cyclesPerRun, double decapFraction,
                          std::uint64_t seed = 1);
+
+/**
+ * Start a structured Result for one experiment, stamped with the
+ * primary RNG seed, the effective worker-thread count (VSMOOTH_JOBS /
+ * --jobs), and the git revision of the producing build.
+ */
+Result makeResult(std::string experiment, std::uint64_t seed = 1);
+
+/**
+ * Emit a Result as JSON alongside the text tables. The destination
+ * comes from the environment so interactive runs stay file-free:
+ *   VSMOOTH_RESULT_FILE=<path>  write exactly there;
+ *   VSMOOTH_RESULT_DIR=<dir>    write <dir>/<experiment>.json;
+ * neither set: no file is written. `vsmooth verify` sets the former
+ * for each experiment it re-runs and diffs against bench/golden/.
+ */
+void emitResult(const Result &r);
 
 } // namespace vsmooth::bench
 

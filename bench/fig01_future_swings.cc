@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "pdn/droop_analysis.hh"
 #include "tech/itrs.hh"
@@ -22,6 +23,7 @@ int
 main()
 {
     const Amps base_stimulus{75.0};
+    auto result = bench::makeResult("fig01_future_swings");
 
     TextTable table("Fig 1: projected voltage swings relative to 45nm");
     table.setHeader({"node", "vdd (V)", "stimulus (A)", "swing (mV)",
@@ -46,9 +48,14 @@ main()
                       TextTable::num(wf.peakToPeak() * 1e3, 1),
                       TextTable::num(swing_pct, 2),
                       TextTable::num(swing_pct / swing45_pct, 2)});
+        result.seriesPoint("swing_pct_of_vdd", swing_pct);
+        result.seriesPoint("swing_rel_45nm", swing_pct / swing45_pct);
+        result.metric("swing_rel_" + node.name,
+                      swing_pct / swing45_pct);
     }
     table.print(std::cout);
     std::cout << "\nPaper: swing roughly doubles by 16nm and reaches"
                  " ~2.5-3x by 11nm (Fig 1).\n";
+    bench::emitResult(result);
     return 0;
 }

@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "tech/itrs.hh"
 #include "tech/ring_oscillator.hh"
@@ -22,6 +23,7 @@ int
 main()
 {
     const tech::RingOscillator ring;
+    auto result = bench::makeResult("fig02_margin_frequency");
 
     TextTable table("Fig 2: peak frequency (%) vs margin (%)");
     std::vector<std::string> header = {"margin (%)"};
@@ -38,12 +40,19 @@ main()
     for (int m = 0; m <= 50; m += 5) {
         std::vector<std::string> row = {TextTable::num(m)};
         for (const auto *node : nodes) {
-            row.push_back(TextTable::num(
-                ring.peakFrequencyPercent(node->vdd, m / 100.0), 1));
+            const double pct =
+                ring.peakFrequencyPercent(node->vdd, m / 100.0);
+            row.push_back(TextTable::num(pct, 1));
+            result.seriesPoint("peak_freq_pct_" + node->name, pct);
         }
         table.addRow(row);
     }
     table.print(std::cout);
+    result.metric("freq_loss_pct_45nm_20margin",
+                  100.0 - ring.peakFrequencyPercent(Volts(1.0), 0.20));
+    result.metric("freq_loss_pct_16nm_40margin",
+                  100.0 - ring.peakFrequencyPercent(Volts(0.7), 0.40));
+    bench::emitResult(result);
 
     std::cout << "\nKey point (45nm): 20% margin -> "
               << TextTable::num(

@@ -12,6 +12,7 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "pdn/droop_analysis.hh"
 #include "sim/calibration.hh"
@@ -26,6 +27,7 @@ main()
                      "p2p (mV)", "time >5% below nominal (ns)",
                      "resonance (MHz)"});
 
+    auto result = bench::makeResult("fig05_reset_droops");
     for (double frac : sim::procDecapFractions()) {
         const auto cfg =
             pdn::PackageConfig::core2duo().withDecapFraction(frac);
@@ -36,8 +38,14 @@ main()
              TextTable::num(wf.peakToPeak() * 1e3, 1),
              TextTable::num(wf.timeBelow(0.95).value() * 1e9, 1),
              TextTable::num(cfg.resonanceFrequency().value() / 1e6, 0)});
+        result.seriesPoint("droop_mv", wf.maxDroop() * 1e3);
+        result.seriesPoint("overshoot_mv", wf.maxOvershoot() * 1e3);
+        result.seriesPoint("p2p_mv", wf.peakToPeak() * 1e3);
+        result.metric(std::string("droop_mv_") + sim::procName(frac),
+                      wf.maxDroop() * 1e3);
     }
     table.print(std::cout);
+    bench::emitResult(result);
     std::cout << "\nPaper: ~150 mV droop on Proc100 growing to ~350 mV"
                  " on Proc0, with the droop extending over a longer"
                  " time as decap shrinks.\n";

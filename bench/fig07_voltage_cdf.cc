@@ -22,18 +22,25 @@ main()
 {
     const auto pop = bench::runPopulation(150'000, 1.0);
 
+    auto result = bench::makeResult("fig07_voltage_cdf");
     TextTable table("Fig 7: voltage-sample CDF, Proc100 (population)");
     table.setHeader({"deviation (%)", "fraction of samples below"});
     for (double dev : {-8.0, -6.0, -5.0, -4.0, -3.0, -2.0, -1.0, 0.0,
                        1.0, 2.0, 3.0, 4.0}) {
+        const double frac = pop.scope.fractionBelow(dev / 100.0);
         table.addRow({TextTable::num(dev, 1),
-                      TextTable::num(
-                          pop.scope.fractionBelow(dev / 100.0), 6)});
+                      TextTable::num(frac, 6)});
+        result.seriesPoint("cdf_fraction_below", frac);
     }
     table.print(std::cout);
 
     const double beyond =
         pop.scope.fractionOutside(sim::kTypicalCaseBand);
+    result.metric("runs", static_cast<double>(pop.runs));
+    result.metric("max_droop_pct", pop.scope.maxDroop() * 100);
+    result.metric("max_overshoot_pct", pop.scope.maxOvershoot() * 100);
+    result.metric("beyond_4pct_pct", beyond * 100);
+    bench::emitResult(result);
     std::cout << "\nRuns aggregated: " << pop.runs << "\n"
               << "Max droop: "
               << TextTable::num(pop.scope.maxDroop() * 100, 2)

@@ -42,6 +42,7 @@ main()
     }
     table.print(std::cout);
 
+    auto result = bench::makeResult("fig08_typical_case");
     std::cout << "\nOptimal margins:\n";
     for (auto c : costs) {
         const auto best = resilience::optimalMargin(pop.emergencies, c);
@@ -49,7 +50,12 @@ main()
                   << TextTable::num(best.margin * 100, 1)
                   << "% -> improvement "
                   << TextTable::num(best.improvementPercent, 1) << "%\n";
+        result.metric("optimal_margin_pct_cost" + TextTable::num(c),
+                      best.margin * 100);
+        result.metric("improvement_pct_cost" + TextTable::num(c),
+                      best.improvementPercent);
     }
+    bench::emitResult(result);
     std::cout << "\nPaper: gains between 13% and ~21%; overly"
                  " aggressive margins fall into the dead zone"
                  " (below 0%).\n";

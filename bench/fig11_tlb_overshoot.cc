@@ -13,6 +13,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "cpu/detailed_core.hh"
 #include "noise/droop_detector.hh"
@@ -63,20 +64,22 @@ main()
         overshoot.feed(-sys.deviation()); // mirrored: spikes up
     }
     const auto &ctr = sys.core(0).counters();
+    const double tlb_per_1k =
+        1000.0 *
+        static_cast<double>(ctr.eventCount(cpu::StallCause::TlbMiss)) /
+        static_cast<double>(ctr.cycles());
+    const double overshoot_per_1k =
+        1000.0 * static_cast<double>(overshoot.eventCount()) /
+        static_cast<double>(cycles);
     std::cout << "\nTLB miss events/1K cycles: "
-              << TextTable::num(
-                     1000.0 *
-                         static_cast<double>(ctr.eventCount(
-                             cpu::StallCause::TlbMiss)) /
-                         static_cast<double>(ctr.cycles()),
-                     2)
+              << TextTable::num(tlb_per_1k, 2)
               << "\nOvershoot events/1K cycles (> +1.2%): "
-              << TextTable::num(1000.0 *
-                                    static_cast<double>(
-                                        overshoot.eventCount()) /
-                                    static_cast<double>(cycles),
-                                2)
+              << TextTable::num(overshoot_per_1k, 2)
               << "\nPaper: recurring voltage spikes embedded in the"
                  " VRM ripple, one per TLB stall burst.\n";
+    auto result = bench::makeResult("fig11_tlb_overshoot");
+    result.metric("tlb_miss_per_1k_cycles", tlb_per_1k);
+    result.metric("overshoot_per_1k_cycles", overshoot_per_1k);
+    bench::emitResult(result);
     return 0;
 }

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "cpu/detailed_core.hh"
 #include "sim/system.hh"
@@ -38,6 +39,8 @@ int
 main()
 {
     const double idle = idleVisualP2p();
+    auto result = bench::makeResult("fig12_event_swings");
+    result.metric("idle_p2p_pct", idle * 100);
 
     TextTable table("Fig 12: event swing relative to idling machine");
     table.setHeader({"event", "p2p (% of Vdd)", "relative to idle",
@@ -66,8 +69,14 @@ main()
                                 static_cast<double>(ctr.cycles()),
                             1),
              TextTable::num(ctr.stallRatio(), 2)});
+        result.metric("p2p_rel_" +
+                          std::string(workload::microbenchName(kind)),
+                      sys.scope().visualPeakToPeak() / idle);
+        result.seriesPoint("p2p_pct",
+                           sys.scope().visualPeakToPeak() * 100);
     }
     table.print(std::cout);
+    bench::emitResult(result);
     std::cout << "\nIdle baseline p2p: " << TextTable::num(idle * 100, 2)
               << "% of Vdd\nPaper: branch mispredictions largest, over"
                  " 1.7x the idle baseline.\n";

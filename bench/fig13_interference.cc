@@ -13,6 +13,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_util.hh"
 #include "common/parallel.hh"
 #include "common/table.hh"
 #include "cpu/detailed_core.hh"
@@ -107,5 +108,11 @@ main()
               << "%\nPaper: 1.7x single vs 2.42x dual (+42%), worst"
                  " case when both cores run the same heavyweight"
                  " event.\n";
+    auto result = bench::makeResult("fig13_interference");
+    result.metric("single_core_max_rel", single_max);
+    result.metric("dual_core_max_rel", pair_max);
+    result.metric("increase_pct", (pair_max / single_max - 1.0) * 100);
+    result.series("grid_rel", grid);
+    bench::emitResult(result);
     return 0;
 }

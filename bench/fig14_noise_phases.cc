@@ -14,6 +14,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "cpu/fast_core.hh"
 #include "noise/timeline.hh"
@@ -26,6 +27,7 @@ using namespace vsmooth;
 int
 main()
 {
+    auto result = bench::makeResult("fig14_noise_phases");
     for (const char *name : {"sphinx", "gamess", "tonto"}) {
         const auto &bench = workload::specByName(name);
 
@@ -61,8 +63,12 @@ main()
             std::cout << TextTable::num(phases[p].meanDroopsPer1k, 0);
         }
         std::cout << " droops/1K)\n\n";
+        result.metric(std::string("phases_") + name,
+                      static_cast<double>(phases.size()));
+        result.series(std::string("droops_per_1k_") + name, series);
     }
     std::cout << "Paper: sphinx flat (~100), gamess four phases"
                  " (60..100), tonto oscillating (60..100).\n";
+    bench::emitResult(result);
     return 0;
 }

@@ -56,5 +56,14 @@ main()
               << TextTable::num(
                      *std::max_element(droops.begin(), droops.end()), 0)
               << " per 1K cycles (paper: ~40..120)\n";
+    auto result = bench::makeResult("fig15_stall_correlation");
+    result.metric("pearson_r", pearson(droops, stalls));
+    result.metric("droops_per_1k_min",
+                  *std::min_element(droops.begin(), droops.end()));
+    result.metric("droops_per_1k_max",
+                  *std::max_element(droops.begin(), droops.end()));
+    result.series("droops_per_1k", droops);
+    result.series("stall_ratio", stalls);
+    bench::emitResult(result);
     return 0;
 }

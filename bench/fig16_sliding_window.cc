@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "sched/sliding_window.hh"
 #include "workload/spec_suite.hh"
@@ -59,5 +60,11 @@ main()
               << "x\nPaper: constructive regions near 2x (droops 80 ->"
                  " 160), destructive regions at the single-core"
                  " level.\n";
+    auto out = bench::makeResult("fig16_sliding_window");
+    out.metric("worst_window_ratio", worst);
+    out.metric("best_window_ratio", best);
+    out.series("single_core_droops_per_1k", result.singleCore);
+    out.series("co_scheduled_droops_per_1k", result.coScheduled);
+    bench::emitResult(out);
     return 0;
 }

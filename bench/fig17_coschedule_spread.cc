@@ -13,6 +13,7 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/statistics.hh"
 #include "common/table.hh"
 #include "sched/oracle_matrix.hh"
@@ -35,6 +36,7 @@ main()
     table.setHeader({"benchmark", "single", "SPECrate", "min", "q1",
                      "median", "q3", "max"});
 
+    auto result = bench::makeResult("fig17_coschedule_spread");
     std::size_t better_than_specrate = 0, total = 0;
     for (std::size_t i = 0; i < matrix.size(); ++i) {
         std::vector<double> spread;
@@ -54,15 +56,22 @@ main()
                       TextTable::num(box.median, 1),
                       TextTable::num(box.q3, 1),
                       TextTable::num(box.max, 1)});
+        result.seriesPoint("median_droops_per_1k", box.median);
+        result.seriesPoint("single_droops_per_1k",
+                           matrix.single(i).droopsPer1k);
+        result.seriesPoint("specrate_droops_per_1k",
+                           matrix.specRate(i).droopsPer1k);
     }
     table.print(std::cout);
 
+    const double better_pct =
+        100.0 * static_cast<double>(better_than_specrate) /
+        static_cast<double>(total);
     std::cout << "\nCo-schedules with fewer droops than the SPECrate"
                  " baseline: "
-              << TextTable::num(100.0 * static_cast<double>(
-                                            better_than_specrate) /
-                                    static_cast<double>(total),
-                                0)
+              << TextTable::num(better_pct, 0)
               << "% (paper: over half show room for improvement)\n";
+    result.metric("better_than_specrate_pct", better_pct);
+    bench::emitResult(result);
     return 0;
 }

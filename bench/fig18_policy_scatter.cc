@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "sched/pass_analysis.hh"
 #include "sched/policy.hh"
@@ -62,6 +63,7 @@ main()
     };
 
     Rng rng(2026);
+    auto result = bench::makeResult("fig18_policy_scatter");
 
     // 100 random schedules, as in the paper.
     double rand_droops = 0.0, rand_perf = 0.0;
@@ -79,6 +81,8 @@ main()
                   TextTable::num(rand_mean.droops, 3),
                   TextTable::num(rand_mean.performance, 3),
                   quadrant(rand_mean)});
+    result.metric("droops_rel_random", rand_mean.droops);
+    result.metric("performance_rel_random", rand_mean.performance);
 
     for (auto kind : {sched::PolicyKind::Ipc, sched::PolicyKind::Droop}) {
         const auto sched = sched::buildSchedule(pool, matrix, kind, rng);
@@ -88,6 +92,9 @@ main()
                       TextTable::num(norm.droops, 3),
                       TextTable::num(norm.performance, 3),
                       quadrant(norm)});
+        const std::string tag = sched::policyName(kind);
+        result.metric("droops_rel_" + tag, norm.droops);
+        result.metric("performance_rel_" + tag, norm.performance);
     }
     for (double n : {0.25, 0.5, 1.0, 2.0, 4.0}) {
         const auto sched = sched::buildSchedule(
@@ -98,8 +105,11 @@ main()
                       TextTable::num(norm.droops, 3),
                       TextTable::num(norm.performance, 3),
                       quadrant(norm)});
+        result.seriesPoint("hybrid_droops_rel", norm.droops);
+        result.seriesPoint("hybrid_performance_rel", norm.performance);
     }
     table.print(std::cout);
+    bench::emitResult(result);
     std::cout << "\nPaper: Random ~ SPECrate; IPC boosts performance at"
                  " Random's droop level; Droop minimizes droops (Q1"
                  " with slight perf gain); the hybrid spans the Q1"

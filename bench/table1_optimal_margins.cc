@@ -13,6 +13,7 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "sched/pass_analysis.hh"
 #include "sim/calibration.hh"
@@ -42,6 +43,7 @@ main()
     const char *paper[6][3] = {{"5.3", "15.7", "28"}, {"5.6", "15.1", "28"},
                                {"6.4", "13.7", "15"}, {"7.4", "12.2", "12"},
                                {"8.2", "10.8", "9"},  {"8.6", "9.7", "9"}};
+    auto result = bench::makeResult("table1_optimal_margins");
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto &r = rows[i];
         table.addRow({TextTable::num(r.recoveryCost),
@@ -49,8 +51,16 @@ main()
                       TextTable::num(r.expectedImprovementPercent, 1),
                       TextTable::num(r.passingSpecRate),
                       paper[i][0], paper[i][1], paper[i][2]});
+        const std::string cost = TextTable::num(r.recoveryCost);
+        result.metric("optimal_margin_pct_cost" + cost,
+                      r.optimalMargin * 100);
+        result.metric("improvement_pct_cost" + cost,
+                      r.expectedImprovementPercent);
+        result.metric("passes_cost" + cost,
+                      static_cast<double>(r.passingSpecRate));
     }
     table.print(std::cout);
+    bench::emitResult(result);
     std::cout << "\nShape targets: margins relax and improvement falls"
                  " as recovery coarsens; the passing count collapses"
                  " beyond ~10-cycle recovery.\n";

@@ -1,0 +1,50 @@
+#include "argparse.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace vsmooth {
+
+std::optional<std::uint64_t>
+tryParseU64(std::string_view text)
+{
+    if (text.empty())
+        return std::nullopt;
+    // strtoull silently accepts leading whitespace and negative
+    // numbers (wrapping them); forbid both, plus explicit '+'.
+    const char first = text.front();
+    if (!std::isdigit(static_cast<unsigned char>(first)))
+        return std::nullopt;
+    const std::string buf(text);
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+    if (errno == ERANGE)
+        return std::nullopt;
+    if (end != buf.c_str() + buf.size())
+        return std::nullopt;
+    return static_cast<std::uint64_t>(v);
+}
+
+std::optional<double>
+tryParseDouble(std::string_view text)
+{
+    if (text.empty())
+        return std::nullopt;
+    if (std::isspace(static_cast<unsigned char>(text.front())))
+        return std::nullopt;
+    const std::string buf(text);
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size())
+        return std::nullopt;
+    if (!std::isfinite(v))
+        return std::nullopt;
+    return v;
+}
+
+} // namespace vsmooth

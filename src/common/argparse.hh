@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Strict scalar parsing for command-line options.
+ *
+ * The CLI historically pushed integer flags through strtod and a
+ * cast, which silently loses precision above 2^53 and accepts
+ * "1e6"-style or partially-numeric garbage. These helpers parse
+ * exactly one well-formed value and reject everything else; callers
+ * that want to abort on bad input wrap them with fatal().
+ */
+
+#ifndef VSMOOTH_COMMON_ARGPARSE_HH
+#define VSMOOTH_COMMON_ARGPARSE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace vsmooth {
+
+/**
+ * Parse an unsigned 64-bit decimal integer. Rejects empty input,
+ * signs, whitespace, trailing characters (so "1e6", "12abc", "3.5"
+ * all fail), and out-of-range values.
+ */
+std::optional<std::uint64_t> tryParseU64(std::string_view text);
+
+/**
+ * Parse a finite double. Rejects empty input, leading whitespace,
+ * trailing characters, and inf/nan spellings.
+ */
+std::optional<double> tryParseDouble(std::string_view text);
+
+} // namespace vsmooth
+
+#endif // VSMOOTH_COMMON_ARGPARSE_HH

@@ -24,8 +24,8 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 std::size_t
 Histogram::binIndex(double x) const
 {
-    if (x < lo_)
-        return 0;
+    // Only called for in-range x; the min() guards against the
+    // floating-point edge case x == hi_ - ulp mapping to size().
     const auto raw = static_cast<std::size_t>((x - lo_) / width_);
     return std::min(raw, counts_.size() - 1);
 }
@@ -39,7 +39,12 @@ Histogram::add(double x)
 void
 Histogram::add(double x, std::uint64_t count)
 {
-    counts_[binIndex(x)] += count;
+    if (x < lo_)
+        underflow_ += count;
+    else if (x >= hi_)
+        overflow_ += count;
+    else
+        counts_[binIndex(x)] += count;
     total_ += count;
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
@@ -55,6 +60,8 @@ Histogram::merge(const Histogram &other)
     for (std::size_t i = 0; i < counts_.size(); ++i)
         counts_[i] += other.counts_[i];
     total_ += other.total_;
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
 }
@@ -64,6 +71,8 @@ Histogram::clear()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
     total_ = 0;
+    underflow_ = 0;
+    overflow_ = 0;
     min_ = std::numeric_limits<double>::infinity();
     max_ = -std::numeric_limits<double>::infinity();
 }
@@ -79,15 +88,27 @@ Histogram::fractionBelow(double x) const
 {
     if (total_ == 0)
         return 0.0;
-    if (x <= lo_)
-        return 0.0;
-    if (x >= hi_)
-        return 1.0;
+    if (x <= lo_) {
+        // All underflow mass lies below lo_ (its exact positions are
+        // not binned); it counts as below any x above the minimum.
+        return x > min_
+            ? static_cast<double>(underflow_) /
+                static_cast<double>(total_)
+            : 0.0;
+    }
+    if (x >= hi_) {
+        return x > max_
+            ? 1.0
+            : 1.0 - static_cast<double>(overflow_) /
+                static_cast<double>(total_);
+    }
     const std::size_t idx = binIndex(x);
-    std::uint64_t below = 0;
+    std::uint64_t below = underflow_;
     for (std::size_t i = 0; i < idx; ++i)
         below += counts_[i];
-    // Interpolate within the boundary bin for smoother CDF queries.
+    // Interpolate within the boundary bin for smoother CDF queries;
+    // only in-range mass lives in the bin, so out-of-range samples
+    // can no longer leak into the interpolation.
     const double frac_in_bin =
         (x - (lo_ + static_cast<double>(idx) * width_)) / width_;
     const double partial = frac_in_bin * static_cast<double>(counts_[idx]);
@@ -102,14 +123,21 @@ Histogram::quantile(double q) const
         panic("Histogram::quantile on empty histogram");
     if (q < 0.0 || q > 1.0)
         panic("Histogram::quantile q=%g outside [0,1]", q);
+    if (q == 0.0)
+        return min_;
+    if (q == 1.0)
+        return max_;
     const auto target = static_cast<double>(total_) * q;
-    double cum = 0.0;
+    double cum = static_cast<double>(underflow_);
+    if (cum >= target)
+        return min_;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         cum += static_cast<double>(counts_[i]);
         if (cum >= target)
-            return binCenter(i);
+            return std::clamp(binCenter(i), min_, max_);
     }
-    return binCenter(counts_.size() - 1);
+    // Remaining mass is overflow, above the binned range.
+    return max_;
 }
 
 std::vector<std::pair<double, double>>
@@ -117,7 +145,7 @@ Histogram::cdf() const
 {
     std::vector<std::pair<double, double>> out;
     out.reserve(counts_.size());
-    std::uint64_t cum = 0;
+    std::uint64_t cum = underflow_;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         cum += counts_[i];
         const double edge = lo_ + static_cast<double>(i + 1) * width_;

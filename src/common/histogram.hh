@@ -21,9 +21,12 @@ namespace vsmooth {
 /**
  * Histogram over a fixed range [lo, hi) with uniform bins.
  *
- * Samples outside the range are clamped into the first/last bin so no
- * sample is ever silently dropped (extreme droops are precisely the
- * interesting ones). Exact min/max are tracked separately.
+ * Samples outside the range are counted in explicit underflow /
+ * overflow buckets so no sample is ever silently dropped (extreme
+ * droops are precisely the interesting ones) and no out-of-range mass
+ * is misattributed to the edge bins — clamping them there distorted
+ * the within-bin interpolation behind the deep-droop tail fractions
+ * (Fig 7/9). Exact min/max are tracked separately.
  */
 class Histogram
 {
@@ -51,6 +54,10 @@ class Histogram
     std::size_t numBins() const { return counts_.size(); }
     double lowerEdge() const { return lo_; }
     double upperEdge() const { return hi_; }
+    /** Samples below the binned range (counted, never binned). */
+    std::uint64_t underflowCount() const { return underflow_; }
+    /** Samples at or above the binned range. */
+    std::uint64_t overflowCount() const { return overflow_; }
     /** Exact minimum sample seen (not bin-quantized). */
     double minSample() const { return min_; }
     /** Exact maximum sample seen (not bin-quantized). */
@@ -68,13 +75,17 @@ class Histogram
 
     /**
      * Inverse CDF: smallest bin center v such that at least fraction q
-     * of samples are <= v. q in [0, 1].
+     * of samples are <= v, clamped to the exact sample extremes.
+     * quantile(0) and quantile(1) return the tracked min/max samples.
+     * q in [0, 1].
      */
     double quantile(double q) const;
 
     /**
      * CDF evaluated at each bin's upper edge, as (value, cumulative
      * fraction) pairs — directly plottable as the paper's Fig 7/9.
+     * Underflow mass is included from the first edge on; with
+     * overflow present the final fraction is 1 - overflow/total.
      */
     std::vector<std::pair<double, double>> cdf() const;
 
@@ -86,6 +97,8 @@ class Histogram
     double width_;
     std::vector<std::uint64_t> counts_;
     std::uint64_t total_ = 0;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
     double min_;
     double max_;
 };

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Minimal JSON value, writer, and parser (no third-party deps).
+ *
+ * Backs the structured-results subsystem: every bench binary emits a
+ * machine-readable record of its paper observables, and `vsmooth
+ * verify` reads those records back and diffs them against checked-in
+ * goldens. Objects preserve insertion order so emitted files are
+ * stable and diffable; doubles round-trip exactly (%.17g).
+ */
+
+#ifndef VSMOOTH_COMMON_JSON_HH
+#define VSMOOTH_COMMON_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vsmooth {
+
+/**
+ * A JSON value: null, bool, number (double), string, array, or
+ * object. Objects keep their members in insertion order.
+ */
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    using Array = std::vector<Json>;
+    using Object = std::vector<std::pair<std::string, Json>>;
+
+    Json() : type_(Type::Null) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(double d) : type_(Type::Number), num_(d) {}
+    Json(int i) : type_(Type::Number), num_(i) {}
+    Json(std::uint64_t u)
+        : type_(Type::Number), num_(static_cast<double>(u)) {}
+    Json(const char *s) : type_(Type::String), str_(s) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    /** An empty array / object, for incremental building. */
+    static Json array() { Json j; j.type_ = Type::Array; return j; }
+    static Json object() { Json j; j.type_ = Type::Object; return j; }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Typed accessors; panic on type mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    /** Append to an array value (panics if not an array). */
+    void push(Json v);
+    /** Set (append or overwrite) an object member. */
+    void set(std::string key, Json v);
+    /** Member lookup; nullptr if absent or not an object. */
+    const Json *find(std::string_view key) const;
+    /** Member lookup; panics if absent. */
+    const Json &at(std::string_view key) const;
+    bool contains(std::string_view key) const { return find(key); }
+
+    /** Serialize. `indent` > 0 pretty-prints with that step. */
+    void write(std::ostream &os, int indent = 0) const;
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse a complete JSON document. On failure returns a Null value
+     * and, if `error` is given, stores a human-readable message.
+     */
+    static Json parse(std::string_view text, std::string *error = nullptr);
+
+  private:
+    void writeValue(std::ostream &os, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    Array arr_;
+    Object obj_;
+};
+
+} // namespace vsmooth
+
+#endif // VSMOOTH_COMMON_JSON_HH

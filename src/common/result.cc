@@ -1,0 +1,244 @@
+#include "result.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace vsmooth {
+
+void
+Result::metric(std::string_view name, double value)
+{
+    for (auto &[n, v] : metrics_) {
+        if (n == name) {
+            v = value;
+            return;
+        }
+    }
+    metrics_.emplace_back(std::string(name), value);
+}
+
+void
+Result::series(std::string_view name, std::vector<double> values)
+{
+    for (auto &[n, v] : series_) {
+        if (n == name) {
+            v = std::move(values);
+            return;
+        }
+    }
+    series_.emplace_back(std::string(name), std::move(values));
+}
+
+void
+Result::seriesPoint(std::string_view name, double value)
+{
+    for (auto &[n, v] : series_) {
+        if (n == name) {
+            v.push_back(value);
+            return;
+        }
+    }
+    series_.emplace_back(std::string(name),
+                         std::vector<double>{value});
+}
+
+bool
+Result::hasMetric(std::string_view name) const
+{
+    for (const auto &[n, v] : metrics_) {
+        if (n == name)
+            return true;
+    }
+    return false;
+}
+
+double
+Result::metricValue(std::string_view name) const
+{
+    for (const auto &[n, v] : metrics_) {
+        if (n == name)
+            return v;
+    }
+    panic("Result: no metric '%s'", std::string(name).c_str());
+}
+
+Json
+Result::toJson() const
+{
+    Json j = Json::object();
+    j.set("experiment", experiment_);
+    j.set("git", git_);
+    j.set("seed", Json(static_cast<double>(seed_)));
+    j.set("jobs", Json(static_cast<double>(jobs_)));
+    Json m = Json::object();
+    for (const auto &[n, v] : metrics_)
+        m.set(n, Json(v));
+    j.set("metrics", std::move(m));
+    Json s = Json::object();
+    for (const auto &[n, vs] : series_) {
+        Json arr = Json::array();
+        for (double v : vs)
+            arr.push(Json(v));
+        s.set(n, std::move(arr));
+    }
+    j.set("series", std::move(s));
+    return j;
+}
+
+bool
+Result::fromJson(const Json &j, Result &out, std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    if (!j.isObject())
+        return fail("result is not a JSON object");
+    const Json *exp = j.find("experiment");
+    if (!exp || !exp->isString())
+        return fail("missing string field 'experiment'");
+    out = Result(exp->asString());
+    if (const Json *git = j.find("git"); git && git->isString())
+        out.setGitDescribe(git->asString());
+    if (const Json *seed = j.find("seed"); seed && seed->isNumber())
+        out.setSeed(static_cast<std::uint64_t>(seed->asNumber()));
+    if (const Json *jobs = j.find("jobs"); jobs && jobs->isNumber())
+        out.setJobs(static_cast<std::uint64_t>(jobs->asNumber()));
+    if (const Json *m = j.find("metrics")) {
+        if (!m->isObject())
+            return fail("'metrics' is not an object");
+        for (const auto &[name, v] : m->asObject()) {
+            if (!v.isNumber())
+                return fail("metric '" + name + "' is not a number");
+            out.metric(name, v.asNumber());
+        }
+    }
+    if (const Json *s = j.find("series")) {
+        if (!s->isObject())
+            return fail("'series' is not an object");
+        for (const auto &[name, arr] : s->asObject()) {
+            if (!arr.isArray())
+                return fail("series '" + name + "' is not an array");
+            std::vector<double> vs;
+            vs.reserve(arr.asArray().size());
+            for (const Json &v : arr.asArray()) {
+                if (!v.isNumber())
+                    return fail("series '" + name +
+                                "' has a non-numeric element");
+                vs.push_back(v.asNumber());
+            }
+            out.series(name, std::move(vs));
+        }
+    }
+    return true;
+}
+
+namespace {
+
+Tolerance
+toleranceFor(std::string_view name, const Json *tolerances,
+             Tolerance fallback)
+{
+    if (!tolerances || !tolerances->isObject())
+        return fallback;
+    const Json *t = tolerances->find(name);
+    if (!t || !t->isObject())
+        return fallback;
+    Tolerance tol = fallback;
+    if (const Json *a = t->find("abs"); a && a->isNumber())
+        tol.abs = a->asNumber();
+    if (const Json *r = t->find("rel"); r && r->isNumber())
+        tol.rel = r->asNumber();
+    return tol;
+}
+
+bool
+withinTolerance(double golden, double actual, Tolerance tol)
+{
+    if (std::isnan(golden) || std::isnan(actual))
+        return std::isnan(golden) == std::isnan(actual);
+    return std::abs(actual - golden) <=
+        tol.abs + tol.rel * std::abs(golden);
+}
+
+} // namespace
+
+CompareReport
+compareResults(const Result &golden, const Result &actual,
+               const Json *goldenTolerances, Tolerance fallback)
+{
+    CompareReport report;
+    auto structural = [&](std::string name, std::string note) {
+        MetricDiff d;
+        d.name = std::move(name);
+        d.note = std::move(note);
+        report.diffs.push_back(std::move(d));
+        report.pass = false;
+    };
+
+    for (const auto &[name, gv] : golden.metrics()) {
+        ++report.checked;
+        if (!actual.hasMetric(name)) {
+            structural(name, "metric missing from run output");
+            continue;
+        }
+        const double av = actual.metricValue(name);
+        if (!withinTolerance(gv, av,
+                             toleranceFor(name, goldenTolerances,
+                                          fallback))) {
+            report.diffs.push_back({name, gv, av, ""});
+            report.pass = false;
+        }
+    }
+    for (const auto &[name, av] : actual.metrics()) {
+        if (!golden.hasMetric(name))
+            structural(name, "metric absent from golden "
+                             "(regenerate goldens?)");
+    }
+
+    auto findSeries =
+        [](const Result &r,
+           std::string_view name) -> const std::vector<double> * {
+        for (const auto &[n, vs] : r.allSeries()) {
+            if (n == name)
+                return &vs;
+        }
+        return nullptr;
+    };
+
+    for (const auto &[name, gvs] : golden.allSeries()) {
+        ++report.checked;
+        const std::vector<double> *avs = findSeries(actual, name);
+        if (!avs) {
+            structural(name, "series missing from run output");
+            continue;
+        }
+        if (avs->size() != gvs.size()) {
+            structural(name, "series length " +
+                                 std::to_string(avs->size()) +
+                                 " != golden " +
+                                 std::to_string(gvs.size()));
+            continue;
+        }
+        const Tolerance tol =
+            toleranceFor(name, goldenTolerances, fallback);
+        for (std::size_t i = 0; i < gvs.size(); ++i) {
+            if (!withinTolerance(gvs[i], (*avs)[i], tol)) {
+                report.diffs.push_back(
+                    {name + "[" + std::to_string(i) + "]", gvs[i],
+                     (*avs)[i], ""});
+                report.pass = false;
+            }
+        }
+    }
+    for (const auto &[name, avs] : actual.allSeries()) {
+        if (!findSeries(golden, name))
+            structural(name, "series absent from golden "
+                             "(regenerate goldens?)");
+    }
+    return report;
+}
+
+} // namespace vsmooth

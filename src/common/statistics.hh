@@ -61,6 +61,14 @@ double stddev(std::span<const double> xs);
  */
 double percentile(std::span<const double> xs, double p);
 
+/**
+ * Linear-interpolated percentile of an already ascending-sorted
+ * sample, p in [0, 100]. O(1); lets callers that need several
+ * percentiles (boxplot, Fig 17's per-benchmark spreads) sort once
+ * instead of once per query.
+ */
+double percentileOfSorted(std::span<const double> sorted, double p);
+
 /** Pearson linear correlation coefficient; 0 if degenerate. */
 double pearson(std::span<const double> xs, std::span<const double> ys);
 

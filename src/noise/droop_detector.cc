@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -31,21 +32,56 @@ DroopDetectorBank::DroopDetectorBank(const std::vector<double> &margins,
 {
     if (margins.empty())
         fatal("DroopDetectorBank: need at least one margin");
-    std::vector<double> sorted = margins;
-    std::sort(sorted.begin(), sorted.end());
-    detectors_.reserve(sorted.size());
-    for (double m : sorted)
+    margins_ = margins;
+    std::sort(margins_.begin(), margins_.end());
+    detectors_.reserve(margins_.size());
+    for (double m : margins_)
         detectors_.emplace_back(m, releaseFactor);
+}
+
+std::size_t
+DroopDetectorBank::indexForMargin(double margin) const
+{
+    // Exact match against the stored configured margins first — a
+    // caller passing back a value obtained from marginAt()/the
+    // original configuration always resolves, even when margins sit
+    // closer together than any fixed epsilon.
+    const auto it =
+        std::lower_bound(margins_.begin(), margins_.end(), margin);
+    if (it != margins_.end() && *it == margin)
+        return static_cast<std::size_t>(it - margins_.begin());
+
+    // Otherwise tolerate last-ulp noise from margins recomputed
+    // through arithmetic (e.g. 0.01 * i vs an accumulated sum): pick
+    // the nearest configured margin, require it to be unambiguous,
+    // and bound the mismatch relative to the margin's magnitude
+    // instead of the old brittle 1e-9 absolute epsilon.
+    std::size_t best = 0;
+    double bestDist = std::numeric_limits<double>::infinity();
+    bool ambiguous = false;
+    for (std::size_t i = 0; i < margins_.size(); ++i) {
+        const double dist = std::abs(margins_[i] - margin);
+        if (dist < bestDist) {
+            bestDist = dist;
+            best = i;
+            ambiguous = false;
+        } else if (dist == bestDist) {
+            ambiguous = true;
+        }
+    }
+    const double tol =
+        1e-12 * std::max({1.0, std::abs(margin), margins_.back()});
+    if (ambiguous || bestDist > tol) {
+        fatal("DroopDetectorBank: margin %.17g was not configured",
+              margin);
+    }
+    return best;
 }
 
 std::uint64_t
 DroopDetectorBank::eventCountForMargin(double margin) const
 {
-    for (const auto &d : detectors_) {
-        if (std::abs(d.margin() - margin) < 1e-9)
-            return d.eventCount();
-    }
-    fatal("DroopDetectorBank: margin %g was not configured", margin);
+    return detectors_[indexForMargin(margin)].eventCount();
 }
 
 void

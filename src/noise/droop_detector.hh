@@ -111,14 +111,25 @@ class DroopDetectorBank
     std::uint64_t eventCountAt(std::size_t i) const
     { return detectors_.at(i).eventCount(); }
 
-    /** Event count for a margin (must be one of the constructed
-     *  margins, matched with tolerance). */
+    /**
+     * Index of a configured margin. Exact values (as passed at
+     * construction or returned by marginAt()) always resolve; values
+     * recomputed through arithmetic are matched to the unambiguous
+     * nearest margin within a relative last-ulp bound. Fatal if the
+     * margin was never configured.
+     */
+    std::size_t indexForMargin(double margin) const;
+
+    /** Event count for a configured margin (see indexForMargin). */
     std::uint64_t eventCountForMargin(double margin) const;
 
     void reset();
 
   private:
     std::vector<DroopDetector> detectors_;
+    /** The configured margins, sorted ascending, stored exactly as
+     *  the detectors were built (index-aligned with detectors_). */
+    std::vector<double> margins_;
 };
 
 } // namespace vsmooth::noise

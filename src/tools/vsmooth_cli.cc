@@ -12,6 +12,16 @@
  *   vsmooth list
  *   vsmooth impedance [--decap F]
  *   vsmooth reset-droop [--decap F]
+ *   vsmooth verify [options]
+ *
+ * Options for `verify` (golden-result regression checking):
+ *   --bench-dir D    directory of experiment binaries (build/bench)
+ *   --golden-dir D   directory of golden JSONs (bench/golden)
+ *   --experiments L  comma-separated experiment names
+ *   --all            run every registered experiment
+ *   --update         rewrite the goldens from this run
+ *   --list           print the experiment registry and exit
+ *   --verbose        let experiment output through to stderr
  *
  * Options for `run`:
  *   --decap F        package decap fraction (1.0 = Proc100, default)
@@ -41,6 +51,7 @@
 #include <vector>
 
 #include "circuit/ac.hh"
+#include "common/argparse.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/table.hh"
@@ -49,6 +60,7 @@
 #include "pdn/ladder.hh"
 #include "resilience/perf_model.hh"
 #include "sim/system.hh"
+#include "verify.hh"
 #include "workload/microbench.hh"
 #include "workload/parsec.hh"
 #include "workload/spec_suite.hh"
@@ -66,9 +78,13 @@ usage()
            "  vsmooth list\n"
            "  vsmooth impedance [--decap F]\n"
            "  vsmooth reset-droop [--decap F]\n"
+           "  vsmooth verify [options]\n"
            "run options: --decap F --cycles N --margin M --recovery N\n"
            "             --predictor --damper --split --trace FILE"
            " --seed S\n"
+           "verify options: --bench-dir D --golden-dir D"
+           " --experiments a,b,c\n"
+           "                --all --update --list --verbose\n"
            "global options: --jobs N (worker threads for sweeps;"
            " 1 = serial)\n";
     std::exit(2);
@@ -77,11 +93,22 @@ usage()
 double
 parseDouble(const char *value, const char *flag)
 {
-    char *end = nullptr;
-    const double v = std::strtod(value, &end);
-    if (end == value || *end != '\0')
+    const auto v = tryParseDouble(value);
+    if (!v)
         fatal("bad value '%s' for %s", value, flag);
-    return v;
+    return *v;
+}
+
+std::uint64_t
+parseU64(const char *value, const char *flag)
+{
+    // Integer flags parse as integers: no silent precision loss for
+    // 64-bit seeds, no "1e6"-style or partially-numeric input.
+    const auto v = tryParseU64(value);
+    if (!v)
+        fatal("bad value '%s' for %s (expected an unsigned integer)",
+              value, flag);
+    return *v;
 }
 
 int
@@ -242,6 +269,62 @@ cmdRun(const RunOptions &opt)
     return 0;
 }
 
+int
+cmdVerify(int argc, char **argv)
+{
+    tools::VerifyOptions opt;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--bench-dir") {
+            opt.benchDir = next();
+        } else if (arg == "--golden-dir") {
+            opt.goldenDir = next();
+        } else if (arg == "--work-dir") {
+            opt.workDir = next();
+        } else if (arg == "--experiments") {
+            std::string list = next();
+            std::size_t start = 0;
+            while (start <= list.size()) {
+                const std::size_t comma = list.find(',', start);
+                const std::string name = list.substr(
+                    start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+                if (!name.empty())
+                    opt.experiments.push_back(name);
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+        } else if (arg == "--all") {
+            opt.all = true;
+        } else if (arg == "--update") {
+            opt.update = true;
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+        } else if (arg == "--jobs") {
+            const std::uint64_t v = parseU64(next(), "--jobs");
+            if (v < 1)
+                fatal("--jobs needs a positive thread count");
+            opt.jobs = v;
+        } else if (arg == "--list") {
+            TextTable t("registered experiments");
+            t.setHeader({"experiment", "default subset"});
+            for (const auto &e : tools::experimentRegistry())
+                t.addRow({e.name, e.fast ? "yes" : "no (--all)"});
+            t.print(std::cout);
+            return 0;
+        } else {
+            usage();
+        }
+    }
+    return tools::runVerify(opt);
+}
+
 } // namespace
 
 int
@@ -253,6 +336,8 @@ main(int argc, char **argv)
 
     if (cmd == "list")
         return cmdList();
+    if (cmd == "verify")
+        return cmdVerify(argc, argv);
 
     double decap = 1.0;
     RunOptions opt;
@@ -267,12 +352,15 @@ main(int argc, char **argv)
             decap = opt.decap = parseDouble(next(), "--decap");
         } else if (arg == "--cycles") {
             opt.cycles = static_cast<Cycles>(
-                parseDouble(next(), "--cycles"));
+                parseU64(next(), "--cycles"));
         } else if (arg == "--margin") {
             opt.margin = parseDouble(next(), "--margin");
         } else if (arg == "--recovery") {
-            opt.recovery = static_cast<std::uint32_t>(
-                parseDouble(next(), "--recovery"));
+            const std::uint64_t r = parseU64(next(), "--recovery");
+            if (r > UINT32_MAX)
+                fatal("--recovery %llu exceeds the 32-bit cycle cap",
+                      static_cast<unsigned long long>(r));
+            opt.recovery = static_cast<std::uint32_t>(r);
         } else if (arg == "--predictor") {
             opt.predictor = true;
         } else if (arg == "--damper") {
@@ -282,11 +370,10 @@ main(int argc, char **argv)
         } else if (arg == "--trace") {
             opt.traceFile = next();
         } else if (arg == "--seed") {
-            opt.seed = static_cast<std::uint64_t>(
-                parseDouble(next(), "--seed"));
+            opt.seed = parseU64(next(), "--seed");
         } else if (arg == "--jobs") {
-            const double v = parseDouble(next(), "--jobs");
-            if (v < 1.0)
+            const std::uint64_t v = parseU64(next(), "--jobs");
+            if (v < 1)
                 fatal("--jobs needs a positive thread count");
             setJobs(static_cast<std::size_t>(v));
         } else if (!arg.empty() && arg[0] == '-') {

@@ -26,17 +26,74 @@ TEST(Histogram, WeightedAdd)
     EXPECT_EQ(h.binCount(2), 7u);
 }
 
-TEST(Histogram, OutOfRangeClampsToEdgeBins)
+TEST(Histogram, OutOfRangeTrackedAsUnderOverflow)
 {
     Histogram h(0.0, 10.0, 10);
     h.add(-5.0);
     h.add(15.0);
-    EXPECT_EQ(h.binCount(0), 1u);
-    EXPECT_EQ(h.binCount(9), 1u);
+    // Out-of-range samples are counted but never land in edge bins.
+    EXPECT_EQ(h.binCount(0), 0u);
+    EXPECT_EQ(h.binCount(9), 0u);
+    EXPECT_EQ(h.underflowCount(), 1u);
+    EXPECT_EQ(h.overflowCount(), 1u);
     EXPECT_EQ(h.totalCount(), 2u);
     // Exact extremes are preserved.
     EXPECT_DOUBLE_EQ(h.minSample(), -5.0);
     EXPECT_DOUBLE_EQ(h.maxSample(), 15.0);
+}
+
+TEST(Histogram, TailMassNotMisattributedToEdgeBins)
+{
+    // Regression: binIndex used to clamp below-range samples into bin
+    // 0, so fractionBelow's within-bin interpolation spread their
+    // mass over [lo, lo + width) and halved/distorted deep-tail
+    // fractions. One underflow sample and one mid-range sample:
+    Histogram h(0.0, 10.0, 10);
+    h.add(-5.0);
+    h.add(5.5);
+    // Everything below 0.5 is exactly the underflow sample. The old
+    // clamping code interpolated and reported 0.25 here.
+    EXPECT_DOUBLE_EQ(h.fractionBelow(0.5), 0.5);
+    // At the lower edge, the underflow mass is already below.
+    EXPECT_DOUBLE_EQ(h.fractionBelow(0.0), 0.5);
+    // Below the tracked minimum nothing can be smaller.
+    EXPECT_DOUBLE_EQ(h.fractionBelow(-10.0), 0.0);
+
+    // Mirrored for overflow: one above-range sample must not bleed
+    // into queries inside the top bin.
+    Histogram g(0.0, 10.0, 10);
+    g.add(15.0);
+    g.add(5.5);
+    EXPECT_DOUBLE_EQ(g.fractionBelow(9.5), 0.5);
+    EXPECT_DOUBLE_EQ(g.fractionBelow(10.0), 0.5);
+    EXPECT_DOUBLE_EQ(g.fractionBelow(16.0), 1.0);
+}
+
+TEST(Histogram, QuantileExtremesReturnExactMinMax)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-5.0);
+    h.add(3.3);
+    h.add(17.5);
+    // quantile(0)/quantile(1) report the tracked extremes, not a bin
+    // center.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), -5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 17.5);
+}
+
+TEST(Histogram, MergePreservesUnderOverflow)
+{
+    Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+    a.add(-1.0);
+    b.add(11.0);
+    b.add(-2.0);
+    a.merge(b);
+    EXPECT_EQ(a.underflowCount(), 2u);
+    EXPECT_EQ(a.overflowCount(), 1u);
+    EXPECT_EQ(a.totalCount(), 3u);
+    a.clear();
+    EXPECT_EQ(a.underflowCount(), 0u);
+    EXPECT_EQ(a.overflowCount(), 0u);
 }
 
 TEST(Histogram, BinCenters)
@@ -92,7 +149,15 @@ TEST(Histogram, CdfMonotoneAndEndsAtOne)
         EXPECT_GE(frac, prev);
         prev = frac;
     }
-    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+    // The final fraction accounts for everything except overflow
+    // mass (which lies above the last edge).
+    EXPECT_DOUBLE_EQ(cdf.back().second,
+                     1.0 - static_cast<double>(h.overflowCount()) /
+                         static_cast<double>(h.totalCount()));
+    // Underflow mass is below the first edge and included there.
+    EXPECT_GE(cdf.front().second,
+              static_cast<double>(h.underflowCount()) /
+                  static_cast<double>(h.totalCount()));
 }
 
 TEST(Histogram, MergeAddsCounts)

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the JSON value/writer/parser and the Result schema that
+ * back the golden-result regression harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/result.hh"
+
+using namespace vsmooth;
+
+TEST(Json, ScalarsRoundTripThroughText)
+{
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+
+    std::string error;
+    const Json j = Json::parse("{\"a\": [1, 2.5, \"x\"], \"b\": null}",
+                               &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(j.at("a").asArray().size(), 3u);
+    EXPECT_DOUBLE_EQ(j.at("a").asArray()[1].asNumber(), 2.5);
+    EXPECT_TRUE(j.at("b").isNull());
+}
+
+TEST(Json, DoublesRoundTripExactly)
+{
+    // The writer must emit enough digits that parse(dump(x)) == x bit
+    // for bit — golden comparisons rely on it.
+    for (double v : {0.1, 1.0 / 3.0, 1e-300, 6.02214076e23,
+                     -2.2250738585072014e-308, 123456789.123456789}) {
+        std::string error;
+        const Json back = Json::parse(Json(v).dump(), &error);
+        EXPECT_TRUE(error.empty()) << error;
+        EXPECT_EQ(back.asNumber(), v);
+    }
+}
+
+TEST(Json, IntegralDoublesPrintWithoutExponent)
+{
+    EXPECT_EQ(Json(1e6).dump(), "1000000");
+    EXPECT_EQ(Json(-3.0).dump(), "-3");
+}
+
+TEST(Json, NonFiniteBecomesNull)
+{
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+    EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder)
+{
+    Json obj = Json::object();
+    obj.set("zebra", 1);
+    obj.set("apple", 2);
+    obj.set("mango", 3);
+    EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+    obj.set("apple", 9); // overwrite keeps the slot
+    EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"apple\":9,\"mango\":3}");
+}
+
+TEST(Json, StringEscapes)
+{
+    const Json j("tab\there \"quoted\" back\\slash\n");
+    std::string error;
+    const Json back = Json::parse(j.dump(), &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(back.asString(), j.asString());
+
+    const Json uni = Json::parse("\"\\u00e9\\u0041\"", &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(uni.asString(), "\xc3\xa9"
+                              "A");
+}
+
+TEST(Json, ParseErrorsNameTheOffset)
+{
+    std::string error;
+    Json j = Json::parse("{\"a\": }", &error);
+    EXPECT_TRUE(j.isNull());
+    EXPECT_FALSE(error.empty());
+
+    j = Json::parse("[1, 2,]", &error);
+    EXPECT_FALSE(error.empty());
+
+    j = Json::parse("[1] trailing", &error);
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, PrettyPrintParsesBack)
+{
+    Json obj = Json::object();
+    obj.set("metrics", Json::object());
+    Json arr = Json::array();
+    arr.push(1.5);
+    arr.push(2.5);
+    obj.set("series", std::move(arr));
+    std::ostringstream os;
+    obj.write(os, 2);
+    std::string error;
+    const Json back = Json::parse(os.str(), &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(back.dump(), obj.dump());
+}
+
+TEST(Result, JsonRoundTrip)
+{
+    Result r("fig99_example");
+    r.setSeed(12345);
+    r.setJobs(4);
+    r.setGitDescribe("abc1234");
+    r.metric("pearson_r", 0.97);
+    r.metric("max_droop_pct", 9.6);
+    r.series("droops_per_1k", {40.0, 80.5, 120.25});
+
+    Result back;
+    std::string error;
+    ASSERT_TRUE(Result::fromJson(
+        Json::parse(r.toJson().dump(2), &error), back, &error))
+        << error;
+    EXPECT_EQ(back.experiment(), "fig99_example");
+    EXPECT_EQ(back.seed(), 12345u);
+    EXPECT_EQ(back.jobs(), 4u);
+    EXPECT_EQ(back.gitDescribe(), "abc1234");
+    EXPECT_DOUBLE_EQ(back.metricValue("pearson_r"), 0.97);
+    ASSERT_EQ(back.allSeries().size(), 1u);
+    EXPECT_EQ(back.allSeries()[0].second.size(), 3u);
+    EXPECT_EQ(back.allSeries()[0].second[1], 80.5);
+}
+
+TEST(Result, FromJsonRejectsMalformedSchemas)
+{
+    std::string error;
+    Result out;
+    EXPECT_FALSE(Result::fromJson(Json::parse("[]"), out, &error));
+    EXPECT_FALSE(Result::fromJson(
+        Json::parse("{\"metrics\": {}}"), out, &error)); // no experiment
+    EXPECT_FALSE(Result::fromJson(
+        Json::parse("{\"experiment\": \"x\", \"metrics\": 3}"), out,
+        &error));
+    EXPECT_FALSE(Result::fromJson(
+        Json::parse("{\"experiment\": \"x\","
+                    " \"series\": {\"s\": [1, \"two\"]}}"),
+        out, &error));
+}
+
+TEST(Result, CompareDetectsDriftAndHonorsTolerances)
+{
+    Result golden("exp");
+    golden.metric("a", 100.0);
+    golden.metric("b", 0.5);
+    Result actual = golden;
+
+    // Identical: passes with default (tight) tolerances.
+    EXPECT_TRUE(compareResults(golden, actual).pass);
+
+    // Drift one metric beyond the default band.
+    actual = golden;
+    actual.metric("a", 100.001);
+    auto report = compareResults(golden, actual);
+    EXPECT_FALSE(report.pass);
+    ASSERT_EQ(report.diffs.size(), 1u);
+    EXPECT_EQ(report.diffs[0].name, "a");
+    EXPECT_DOUBLE_EQ(report.diffs[0].golden, 100.0);
+    EXPECT_DOUBLE_EQ(report.diffs[0].actual, 100.001);
+
+    // A per-metric tolerance from the golden file lets it through.
+    std::string error;
+    const Json tol =
+        Json::parse("{\"a\": {\"abs\": 0.01}}", &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_TRUE(compareResults(golden, actual, &tol).pass);
+
+    // ... but does not loosen other metrics.
+    actual.metric("b", 0.6);
+    EXPECT_FALSE(compareResults(golden, actual, &tol).pass);
+}
+
+TEST(Result, CompareFlagsMissingAndExtraMetrics)
+{
+    Result golden("exp");
+    golden.metric("a", 1.0);
+    golden.series("s", {1.0, 2.0});
+
+    Result actual("exp"); // metric + series missing
+    auto report = compareResults(golden, actual);
+    EXPECT_FALSE(report.pass);
+
+    actual = golden;
+    actual.metric("extra", 7.0); // extra metric also fails
+    EXPECT_FALSE(compareResults(golden, actual).pass);
+
+    actual = golden;
+    actual.series("s", {1.0, 2.0, 3.0}); // length mismatch
+    report = compareResults(golden, actual);
+    EXPECT_FALSE(report.pass);
+    ASSERT_FALSE(report.diffs.empty());
+    EXPECT_FALSE(report.diffs[0].note.empty());
+}
+
+TEST(Result, CompareChecksSeriesElementwise)
+{
+    Result golden("exp");
+    golden.series("s", {1.0, 2.0, 3.0});
+    Result actual = golden;
+    actual.series("s", {1.0, 2.5, 3.0});
+    const auto report = compareResults(golden, actual);
+    EXPECT_FALSE(report.pass);
+    ASSERT_EQ(report.diffs.size(), 1u);
+    EXPECT_EQ(report.diffs[0].name, "s[1]");
+}

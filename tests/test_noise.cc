@@ -121,6 +121,43 @@ TEST(DroopDetectorBankDeath, UnknownMarginQuery)
                 ::testing::ExitedWithCode(1), "not configured");
 }
 
+TEST(DroopDetectorBank, ComputedMarginLookup)
+{
+    // Margins produced by arithmetic (0.01 * i) queried back with an
+    // accumulated sum that may differ in the last ulp; every lookup
+    // must resolve to the right detector.
+    std::vector<double> margins;
+    for (int i = 1; i <= 14; ++i)
+        margins.push_back(0.01 * i);
+    DroopDetectorBank bank(margins);
+    for (int i = 0; i < 5000; ++i)
+        bank.feed(-0.15 * std::abs(std::sin(i * 0.37)));
+    double acc = 0.0;
+    for (int i = 1; i <= 14; ++i) {
+        acc += 0.01;
+        EXPECT_EQ(bank.eventCountForMargin(acc),
+                  bank.eventCountAt(static_cast<std::size_t>(i - 1)))
+            << "accumulated margin " << acc;
+    }
+}
+
+TEST(DroopDetectorBank, NearbyMarginsResolveExactly)
+{
+    // Regression: the old lookup scanned with a 1e-9 absolute epsilon
+    // and returned the *first* margin within it, so two configured
+    // margins closer than the epsilon aliased to one detector. Exact
+    // queries must hit their own detector.
+    const double shallow = 0.01;
+    const double deep = 0.01 + 1e-10;
+    DroopDetectorBank bank({shallow, deep});
+    // One excursion that crosses the shallow threshold only.
+    bank.feed(-(shallow + 5e-11));
+    bank.feed(0.0);
+    EXPECT_EQ(bank.eventCountForMargin(shallow), 1u);
+    EXPECT_EQ(bank.eventCountForMargin(deep), 0u);
+    EXPECT_EQ(bank.indexForMargin(deep), 1u);
+}
+
 TEST(Scope, TracksExtremesAndFractions)
 {
     Scope scope;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -186,3 +187,35 @@ TEST_P(PercentileMonotone, MonotoneInP)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Statistics, BoxplotBitIdenticalToPerPercentilePath)
+{
+    // boxplot() now sorts once and reuses the sorted sample; the
+    // result must stay bit-identical to the historical five
+    // independent percentile() calls.
+    for (std::uint64_t seed : {7u, 21u, 1031u}) {
+        Rng rng(seed);
+        std::vector<double> xs;
+        for (int i = 0; i < 733; ++i)
+            xs.push_back(rng.normal(3.0, 17.0));
+        const auto box = boxplot(xs);
+        EXPECT_EQ(box.min, percentile(xs, 0.0));
+        EXPECT_EQ(box.q1, percentile(xs, 25.0));
+        EXPECT_EQ(box.median, percentile(xs, 50.0));
+        EXPECT_EQ(box.q3, percentile(xs, 75.0));
+        EXPECT_EQ(box.max, percentile(xs, 100.0));
+        EXPECT_EQ(box.mean, mean(xs));
+    }
+}
+
+TEST(Statistics, PercentileOfSortedMatchesPercentile)
+{
+    Rng rng(99);
+    std::vector<double> xs;
+    for (int i = 0; i < 257; ++i)
+        xs.push_back(rng.uniform());
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    for (int p = 0; p <= 100; p += 10)
+        EXPECT_EQ(percentileOfSorted(sorted, p), percentile(xs, p));
+}

@@ -1,10 +1,16 @@
-/** @file Tests for the trace writer and its System integration. */
+/** @file Tests for the trace writer, CLI argument parsing, and their
+ *  System integration. */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "common/argparse.hh"
 #include "cpu/fast_core.hh"
 #include "noise/trace_writer.hh"
 #include "sim/system.hh"
@@ -35,6 +41,80 @@ TEST(TraceWriter, RingBufferKeepsMostRecent)
     const auto chron = trace.chronological();
     EXPECT_EQ(chron.front().cycle, 6u);
     EXPECT_EQ(chron.back().cycle, 9u);
+}
+
+TEST(TraceWriter, CsvChronologicalAfterWrap)
+{
+    // Regression guard for the ring-buffer export: after the buffer
+    // wraps, the CSV must be un-rotated from head_ — strictly
+    // increasing cycles starting at the oldest retained sample, at
+    // every wrap offset (not just a full multiple of the capacity).
+    for (Cycles total : {5u, 7u, 8u, 9u, 13u, 21u}) {
+        TraceWriter trace(5);
+        for (Cycles i = 0; i < total; ++i)
+            trace.record(100 + i, 0.001 * static_cast<double>(i), 1.0);
+        std::ostringstream os;
+        trace.writeCsv(os);
+
+        std::istringstream is(os.str());
+        std::string line;
+        ASSERT_TRUE(std::getline(is, line));
+        EXPECT_EQ(line, "cycle,deviation,current_amps");
+        std::vector<Cycles> cycles;
+        while (std::getline(is, line))
+            cycles.push_back(std::stoull(line.substr(0, line.find(','))));
+
+        const Cycles kept = std::min<Cycles>(total, 5);
+        ASSERT_EQ(cycles.size(), kept) << "total=" << total;
+        for (std::size_t i = 0; i < cycles.size(); ++i) {
+            EXPECT_EQ(cycles[i], 100 + total - kept + i)
+                << "total=" << total << " row " << i;
+        }
+    }
+}
+
+TEST(ArgParse, U64RoundTripsFullRange)
+{
+    // 64-bit seeds must survive exactly; the old strtod path rounded
+    // them through a double.
+    const std::uint64_t big =
+        std::numeric_limits<std::uint64_t>::max(); // 18446744073709551615
+    const auto parsed = tryParseU64("18446744073709551615");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, big);
+
+    const std::uint64_t odd = 9007199254740993ULL; // 2^53 + 1
+    const auto parsedOdd = tryParseU64("9007199254740993");
+    ASSERT_TRUE(parsedOdd.has_value());
+    EXPECT_EQ(*parsedOdd, odd);
+    // The double round-trip the old code performed loses this value.
+    EXPECT_NE(static_cast<std::uint64_t>(static_cast<double>(odd)), odd);
+}
+
+TEST(ArgParse, U64RejectsNonIntegerForms)
+{
+    EXPECT_FALSE(tryParseU64("1e6").has_value());
+    EXPECT_FALSE(tryParseU64("12abc").has_value());
+    EXPECT_FALSE(tryParseU64("3.5").has_value());
+    EXPECT_FALSE(tryParseU64("-3").has_value());
+    EXPECT_FALSE(tryParseU64("+3").has_value());
+    EXPECT_FALSE(tryParseU64("").has_value());
+    EXPECT_FALSE(tryParseU64(" 7").has_value());
+    EXPECT_FALSE(tryParseU64("7 ").has_value());
+    // One past uint64 max overflows.
+    EXPECT_FALSE(tryParseU64("18446744073709551616").has_value());
+    EXPECT_TRUE(tryParseU64("0").has_value());
+}
+
+TEST(ArgParse, DoubleAcceptsUsualFormsRejectsGarbage)
+{
+    EXPECT_DOUBLE_EQ(*tryParseDouble("0.25"), 0.25);
+    EXPECT_DOUBLE_EQ(*tryParseDouble("1e-3"), 1e-3);
+    EXPECT_DOUBLE_EQ(*tryParseDouble("-4"), -4.0);
+    EXPECT_FALSE(tryParseDouble("0.25x").has_value());
+    EXPECT_FALSE(tryParseDouble("").has_value());
+    EXPECT_FALSE(tryParseDouble("nan").has_value());
+    EXPECT_FALSE(tryParseDouble("inf").has_value());
 }
 
 TEST(TraceWriter, FreezeStopsRecording)

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full CI pass: configure, build, unit tests, golden-result
+# regression, and a ThreadSanitizer smoke of the parallel sweep
+# engine. Run from the repository root:
+#
+#   tools/ci.sh [build-dir]
+#
+# Exits nonzero on the first failing stage.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== configure + build (${BUILD_DIR}) =="
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== tier-1: unit + CLI tests =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
+      -LE golden
+
+echo "== tier-2: golden-result regression (jobs=4 and jobs=1) =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -L golden
+
+echo "== TSan smoke: parallel sweep engine =="
+TSAN_DIR="${BUILD_DIR}-tsan"
+cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DVSMOOTH_SANITIZE=thread
+cmake --build "${TSAN_DIR}" -j "${JOBS}" --target vsmooth_tests
+"${TSAN_DIR}/tests/vsmooth_tests" --gtest_filter='Parallel*'
+
+echo "CI: all stages passed"
