@@ -85,6 +85,33 @@ BM_SystemTickDualCore(benchmark::State &state)
 }
 BENCHMARK(BM_SystemTickDualCore);
 
+/**
+ * The batched block pipeline on the same 2-core no-mitigation system
+ * as BM_SystemTickDualCore. Items are simulated cycles, so
+ * items_per_second is directly comparable with the per-tick baseline
+ * above; the acceptance bar for the batched path is >= 2x.
+ */
+void
+BM_SystemTickBlocked(benchmark::State &state)
+{
+    sim::SystemConfig cfg;
+    sim::System sys(cfg);
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(workload::specByName("sphinx"), 1'000'000,
+                              true),
+        1));
+    sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(workload::specByName("mcf"), 1'000'000,
+                              true),
+        2));
+    constexpr Cycles kChunk = 16 * sim::System::kBlockCycles;
+    for (auto _ : state)
+        sys.run(kChunk);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kChunk));
+}
+BENCHMARK(BM_SystemTickBlocked);
+
 void
 BM_LadderTransientStep(benchmark::State &state)
 {

@@ -11,6 +11,7 @@ namespace vsmooth {
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi),
       width_((hi - lo) / static_cast<double>(bins)),
+      invWidth_(1.0 / ((hi - lo) / static_cast<double>(bins))),
       counts_(bins, 0),
       min_(std::numeric_limits<double>::infinity()),
       max_(-std::numeric_limits<double>::infinity())
@@ -19,21 +20,6 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
         panic("Histogram: hi (%g) must exceed lo (%g)", hi, lo);
     if (bins == 0)
         panic("Histogram: need at least one bin");
-}
-
-std::size_t
-Histogram::binIndex(double x) const
-{
-    // Only called for in-range x; the min() guards against the
-    // floating-point edge case x == hi_ - ulp mapping to size().
-    const auto raw = static_cast<std::size_t>((x - lo_) / width_);
-    return std::min(raw, counts_.size() - 1);
-}
-
-void
-Histogram::add(double x)
-{
-    add(x, 1);
 }
 
 void
@@ -48,6 +34,42 @@ Histogram::add(double x, std::uint64_t count)
     total_ += count;
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
+}
+
+void
+Histogram::addBlock(const double *xs, std::size_t n)
+{
+    // Per-sample arithmetic identical to add(); bounds, reciprocal
+    // width, the counts pointer, and the running extremes live in
+    // locals so the loop body is branch + multiply + increment.
+    const double lo = lo_;
+    const double hi = hi_;
+    const double inv = invWidth_;
+    const std::size_t last = counts_.size() - 1;
+    std::uint64_t *const counts = counts_.data();
+    std::uint64_t under = 0;
+    std::uint64_t over = 0;
+    double mn = min_;
+    double mx = max_;
+    for (std::size_t j = 0; j < n; ++j) {
+        const double x = xs[j];
+        if (x < lo) {
+            ++under;
+        } else if (x >= hi) {
+            ++over;
+        } else {
+            const auto raw = static_cast<std::size_t>((x - lo) * inv);
+            const std::size_t bin = raw < last ? raw : last;
+            ++counts[bin];
+        }
+        mn = x < mn ? x : mn;
+        mx = x > mx ? x : mx;
+    }
+    underflow_ += under;
+    overflow_ += over;
+    total_ += n;
+    min_ = mn;
+    max_ = mx;
 }
 
 void

@@ -38,11 +38,35 @@ class Histogram
      */
     Histogram(double lo, double hi, std::size_t bins);
 
-    /** Add one sample. */
-    void add(double x);
+    /**
+     * Add one sample. Defined in the header so the per-cycle scalar
+     * path and the block path (addBlock) inline the same in-range bin
+     * computation — a compare pair plus one multiply by the
+     * precomputed 1/binWidth — and stay bit-identical to each other.
+     */
+    void
+    add(double x)
+    {
+        if (x < lo_)
+            ++underflow_;
+        else if (x >= hi_)
+            ++overflow_;
+        else
+            ++counts_[binIndex(x)];
+        ++total_;
+        min_ = x < min_ ? x : min_;
+        max_ = x > max_ ? x : max_;
+    }
 
     /** Add a sample with a given multiplicity (weight >= 1). */
     void add(double x, std::uint64_t count);
+
+    /**
+     * Add a block of samples: the same per-sample arithmetic as add()
+     * with the range bounds, reciprocal bin width, and min/max
+     * tracking hoisted into locals for the duration of the block.
+     */
+    void addBlock(const double *xs, std::size_t n);
 
     /** Merge a compatible histogram (same lo/hi/bins). */
     void merge(const Histogram &other);
@@ -90,11 +114,24 @@ class Histogram
     std::vector<std::pair<double, double>> cdf() const;
 
   private:
-    std::size_t binIndex(double x) const;
+    /**
+     * Bin index for in-range x (lo_ <= x < hi_). Multiplies by the
+     * precomputed reciprocal bin width instead of dividing; the
+     * conditional guards the floating-point edge case where
+     * x == hi_ - ulp maps to numBins().
+     */
+    std::size_t
+    binIndex(double x) const
+    {
+        const auto raw = static_cast<std::size_t>((x - lo_) * invWidth_);
+        const std::size_t last = counts_.size() - 1;
+        return raw < last ? raw : last;
+    }
 
     double lo_;
     double hi_;
     double width_;
+    double invWidth_;
     std::vector<std::uint64_t> counts_;
     std::uint64_t total_ = 0;
     std::uint64_t underflow_ = 0;

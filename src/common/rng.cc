@@ -19,12 +19,6 @@ splitmix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -32,35 +26,6 @@ Rng::Rng(std::uint64_t seed)
     std::uint64_t s = seed;
     for (auto &word : state_)
         word = splitmix64(s);
-}
-
-Rng::result_type
-Rng::operator()()
-{
-    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
-    const std::uint64_t t = state_[1] << 17;
-
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-
-    return result;
-}
-
-double
-Rng::uniform()
-{
-    // 53 random mantissa bits -> double in [0, 1).
-    return ((*this)() >> 11) * 0x1.0p-53;
-}
-
-double
-Rng::uniform(double lo, double hi)
-{
-    return lo + (hi - lo) * uniform();
 }
 
 std::uint64_t
@@ -133,11 +98,21 @@ Rng::geometric(double p)
         return ~std::uint64_t(0); // effectively never
     if (p >= 1.0)
         return 1;
+    return geometric(p, std::log1p(-p));
+}
+
+std::uint64_t
+Rng::geometric(double p, double logq)
+{
+    if (p <= 0.0)
+        return ~std::uint64_t(0); // effectively never
+    if (p >= 1.0)
+        return 1;
     double u;
     do {
         u = uniform();
     } while (u <= 0.0);
-    const double k = std::ceil(std::log(u) / std::log1p(-p));
+    const double k = std::ceil(std::log(u) / logq);
     return k < 1.0 ? 1 : static_cast<std::uint64_t>(k);
 }
 

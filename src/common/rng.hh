@@ -34,14 +34,38 @@ class Rng
     static constexpr result_type min() { return 0; }
     static constexpr result_type max() { return ~result_type(0); }
 
-    /** Next raw 64-bit value. */
-    result_type operator()();
+    /**
+     * Next raw 64-bit value. Inline: the core models draw uniforms on
+     * every running cycle, so the xoshiro step belongs in their loop.
+     */
+    result_type operator()()
+    {
+        const std::uint64_t result =
+            rotl(state_[0] + state_[3], 23) + state_[0];
+        const std::uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+
+        return result;
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double uniform()
+    {
+        // 53 random mantissa bits -> double in [0, 1).
+        return ((*this)() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform double in [lo, hi). */
-    double uniform(double lo, double hi);
+    double uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
     std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi);
@@ -65,10 +89,25 @@ class Rng
      */
     std::uint64_t geometric(double p);
 
+    /**
+     * geometric() with the denominator log1p(-p) supplied by the
+     * caller. Event processes draw inter-arrivals repeatedly at a
+     * rate that only changes with the workload phase, so hoisting the
+     * constant log halves the libm cost per draw. The quotient is the
+     * same division as geometric(p) — same bits — provided logq is
+     * exactly std::log1p(-p).
+     */
+    std::uint64_t geometric(double p, double logq);
+
     /** Fork a statistically independent child generator. */
     Rng fork();
 
   private:
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::array<std::uint64_t, 4> state_;
     double cachedNormal_ = 0.0;
     bool hasCachedNormal_ = false;

@@ -15,8 +15,10 @@
 #ifndef VSMOOTH_CPU_CORE_MODEL_HH
 #define VSMOOTH_CPU_CORE_MODEL_HH
 
+#include <cstddef>
 #include <cstdint>
 
+#include "common/units.hh"
 #include "cpu/perf_counters.hh"
 
 namespace vsmooth::cpu {
@@ -33,6 +35,33 @@ class CoreModel
      *         (refill bursts can exceed the steady-state level)
      */
     virtual double tick() = 0;
+
+    /**
+     * Advance n cycles, writing each cycle's activity level to
+     * activity[0..n). Semantically identical to n tick() calls — the
+     * base implementation is exactly that loop — but concrete models
+     * override it so virtual dispatch and per-call overhead are paid
+     * once per block instead of once per cycle. The System's batched
+     * pipeline guarantees no interrupt/recovery injection lands
+     * inside a block, so overrides need not re-check for them
+     * mid-block.
+     */
+    virtual void
+    tickBlock(double *activity, std::size_t n)
+    {
+        for (std::size_t j = 0; j < n; ++j)
+            activity[j] = tick();
+    }
+
+    /**
+     * Conservative lower bound on the number of future tick() calls
+     * before finished() could first return true (0 = already finished
+     * or unknown; the all-ones Cycles means the workload never
+     * finishes, e.g. a looping schedule). Used by the batched run
+     * loop to size blocks without missing the exact stop cycle; the
+     * default forces cycle-by-cycle finish checks.
+     */
+    virtual Cycles minTicksUntilFinished() const { return 0; }
 
     /** Performance counters accumulated so far. */
     virtual const PerfCounters &counters() const = 0;

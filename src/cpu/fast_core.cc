@@ -85,10 +85,18 @@ FastCore::enterPhase(std::size_t idx)
 {
     phaseIdx_ = idx;
     cyclesIntoPhase_ = 0;
+    phaseDuration_ = phase().duration;
+    phaseIpc_ = phase().ipcWhenRunning;
+    phaseJitter_ = phase().activityJitter;
     engine_.setRunningActivity(phase().baseActivity);
     totalEventRate_ = 0.0;
     for (double r : phase().eventRatesPer1k)
         totalEventRate_ += r / 1000.0;
+    // The geometric inter-arrival denominator only changes with the
+    // phase; hoisting it here halves the libm work per event draw.
+    eventLogQ_ = (totalEventRate_ > 0.0 && totalEventRate_ < 1.0)
+        ? std::log1p(-totalEventRate_)
+        : 0.0;
     scheduleNextEvent();
 }
 
@@ -99,7 +107,7 @@ FastCore::scheduleNextEvent()
         cyclesToNextEvent_ = ~Cycles(0);
         return;
     }
-    cyclesToNextEvent_ = rng_.geometric(totalEventRate_);
+    cyclesToNextEvent_ = rng_.geometric(totalEventRate_, eventLogQ_);
 }
 
 double
@@ -115,7 +123,7 @@ FastCore::tick()
     }
 
     // Phase bookkeeping.
-    if (++cyclesIntoPhase_ > phase().duration) {
+    if (++cyclesIntoPhase_ > phaseDuration_) {
         if (phaseIdx_ + 1 < schedule_.phases.size()) {
             enterPhase(phaseIdx_ + 1);
         } else if (schedule_.loop) {
@@ -166,7 +174,7 @@ FastCore::tick()
 
     if (!engine_.blocked()) {
         // Commit instructions and apply activity dither while issuing.
-        ipcAccumulator_ += phase().ipcWhenRunning;
+        ipcAccumulator_ += phaseIpc_;
         if (ipcAccumulator_ >= 1.0) {
             const auto whole = static_cast<std::uint64_t>(ipcAccumulator_);
             counters_.commitInstructions(whole);
@@ -180,12 +188,144 @@ FastCore::tick()
             // rate, preserving the stall-ratio coupling.
             activity += rng_.uniform(-0.3, 0.3);
         } else {
-            const double jitter = phase().activityJitter;
+            const double jitter = phaseJitter_;
             if (jitter > 0.0)
                 activity += rng_.uniform(-jitter, jitter);
         }
     }
     return activity;
+}
+
+void
+FastCore::tickBlock(double *activity, std::size_t n)
+{
+    // Run-length fast path over the common case: the core is Running
+    // with no phase boundary and no event due. Over such a stretch,
+    // tick() reduces to "activity = running (+ jitter); advance the
+    // IPC accumulator; bump integer counters" — the counters, the
+    // phase position, and the event countdown are integer state that
+    // one batched add updates to exactly the per-cycle totals, the
+    // IPC accumulator is carried through the same per-cycle FP
+    // updates in a local, and the RNG consumes exactly one uniform
+    // per cycle (when the phase jitters), in the same sequence as n
+    // external tick() calls. Every other cycle — event waveforms,
+    // phase changes, the done_ idle loop — falls back to tick().
+    std::size_t j = 0;
+    while (j < n) {
+        if (!done_ && engine_.inEvent() &&
+            cyclesIntoPhase_ < phaseDuration_) {
+            // Constant-activity stretch of an event waveform: a stall
+            // at the floor, or a non-bursty refill surge. The event
+            // countdown is frozen while in an event (tick() only
+            // advances it when the engine is idle), phase time keeps
+            // passing, and a stalled pipeline commits nothing while a
+            // surging one keeps the IPC accumulator and the surge
+            // noise running — all exactly as tick() does per cycle.
+            Cycles run = std::min<Cycles>(
+                n - j, phaseDuration_ - cyclesIntoPhase_);
+            run = std::min<Cycles>(run, engine_.constantRunCycles());
+            if (run > 0) {
+                const double base = engine_.constantRunActivity();
+                const std::size_t end =
+                    j + static_cast<std::size_t>(run);
+                if (engine_.state() == EngineState::Stalled) {
+                    std::fill(activity + j, activity + end, base);
+                    j = end;
+                } else {
+                    const double ipc = phaseIpc_;
+                    double acc = ipcAccumulator_;
+                    std::uint64_t insns = 0;
+                    auto rng = rng_;
+                    for (; j < end; ++j) {
+                        acc += ipc;
+                        if (acc >= 1.0) {
+                            const auto whole =
+                                static_cast<std::uint64_t>(acc);
+                            insns += whole;
+                            acc -= static_cast<double>(whole);
+                        }
+                        activity[j] = base + rng.uniform(-0.3, 0.3);
+                    }
+                    rng_ = rng;
+                    ipcAccumulator_ = acc;
+                    counters_.commitInstructions(insns);
+                }
+                engine_.advanceConstantRun(
+                    static_cast<std::uint32_t>(run), counters_);
+                cyclesIntoPhase_ += run;
+                continue;
+            }
+        }
+        if (done_ || engine_.inEvent() || cyclesToNextEvent_ < 2 ||
+            cyclesIntoPhase_ >= phaseDuration_) {
+            activity[j++] = FastCore::tick();
+            continue;
+        }
+        // Longest stretch with no phase boundary (the boundary tick is
+        // the one entered with cyclesIntoPhase_ == duration) and no
+        // event firing (the firing tick is the one that decrements the
+        // countdown to zero; a rate-free core's ~0 sentinel still
+        // decrements per cycle, exactly as tick() does).
+        Cycles run = std::min<Cycles>(
+            n - j, phaseDuration_ - cyclesIntoPhase_);
+        run = std::min(run, cyclesToNextEvent_ - 1);
+
+        const double base = engine_.runningActivity();
+        const double jit = phaseJitter_;
+        const double ipc = phaseIpc_;
+        double acc = ipcAccumulator_;
+        std::uint64_t insns = 0;
+        auto rng = rng_;
+        const std::size_t end = j + static_cast<std::size_t>(run);
+        if (jit > 0.0) {
+            for (; j < end; ++j) {
+                acc += ipc;
+                if (acc >= 1.0) {
+                    const auto whole = static_cast<std::uint64_t>(acc);
+                    insns += whole;
+                    acc -= static_cast<double>(whole);
+                }
+                activity[j] = base + rng.uniform(-jit, jit);
+            }
+        } else {
+            for (; j < end; ++j) {
+                acc += ipc;
+                if (acc >= 1.0) {
+                    const auto whole = static_cast<std::uint64_t>(acc);
+                    insns += whole;
+                    acc -= static_cast<double>(whole);
+                }
+                activity[j] = base;
+            }
+        }
+        rng_ = rng;
+        ipcAccumulator_ = acc;
+        counters_.commitInstructions(insns);
+        counters_.tickCycles(run);
+        cyclesIntoPhase_ += run;
+        cyclesToNextEvent_ -= run;
+    }
+}
+
+Cycles
+FastCore::minTicksUntilFinished() const
+{
+    if (done_) {
+        // Only a draining injected event keeps finished() false; it
+        // could end next cycle, so the bound collapses to per-cycle.
+        return engine_.inEvent() ? 1 : 0;
+    }
+    if (schedule_.loop)
+        return ~Cycles(0);
+    // Ticks until done_ is set: the rest of the current phase, all
+    // later phases, plus the tick whose increment steps past the last
+    // phase's end (see the phase bookkeeping in tick()). An injected
+    // event can only delay finishing further, so this stays a valid
+    // lower bound.
+    Cycles remaining = phase().duration - cyclesIntoPhase_;
+    for (std::size_t p = phaseIdx_ + 1; p < schedule_.phases.size(); ++p)
+        remaining += schedule_.phases[p].duration;
+    return remaining + 1;
 }
 
 void

@@ -86,10 +86,12 @@ class FastCore : public CoreModel
     FastCore(PhaseSchedule schedule, std::uint64_t seed);
 
     double tick() override;
+    void tickBlock(double *activity, std::size_t n) override;
     const PerfCounters &counters() const override { return counters_; }
     void injectRecoveryStall(std::uint32_t cycles) override;
     void injectPlatformInterrupt() override;
     bool finished() const override;
+    Cycles minTicksUntilFinished() const override;
 
     /** Index of the phase currently executing. */
     std::size_t currentPhaseIndex() const { return phaseIdx_; }
@@ -119,7 +121,15 @@ class FastCore : public CoreModel
     Cycles cyclesIntoPhase_ = 0;
     bool done_ = false;
 
+    /** Hot fields of the current phase, cached as scalars at
+     *  enterPhase() so tick() avoids re-chasing the phases vector
+     *  (three loads per cycle on the steady-state path). */
+    Cycles phaseDuration_ = 0;
+    double phaseIpc_ = 0.0;
+    double phaseJitter_ = 0.0;
+
     double totalEventRate_ = 0.0; // per cycle
+    double eventLogQ_ = 0.0;      // log1p(-totalEventRate_), hoisted
     Cycles cyclesToNextEvent_ = 0;
     double ipcAccumulator_ = 0.0;
 };

@@ -50,6 +50,23 @@ class PerfCounters
             ++stallCycles_[static_cast<std::size_t>(cause)];
     }
 
+    /**
+     * Account n consecutive issuing cycles at once; exactly n
+     * tickCycle(StallCause::None) calls (cycle counts are integers,
+     * so one batched add produces the same totals).
+     */
+    void tickCycles(std::uint64_t n) { cycles_ += n; }
+
+    /** Account n consecutive cycles attributed to one cause at once;
+     *  exactly n tickCycle(cause) calls. */
+    void
+    tickCycles(StallCause cause, std::uint64_t n)
+    {
+        cycles_ += n;
+        if (cause != StallCause::None)
+            stallCycles_[static_cast<std::size_t>(cause)] += n;
+    }
+
     /** Account committed instructions for this cycle. */
     void commitInstructions(std::uint64_t n) { instructions_ += n; }
 

@@ -95,76 +95,4 @@ StallEngine::beginEvent(StallCause cause)
     beginEvent(cause, defaultTiming(cause));
 }
 
-double
-StallEngine::tick(PerfCounters &counters)
-{
-    double activity = running_;
-    StallCause accounted = StallCause::None;
-
-    switch (state_) {
-      case EngineState::Running:
-        break;
-
-      case EngineState::RampDown: {
-        // Linear drain from the running level to the stall floor;
-        // the first ramp cycle already moves below the running level.
-        const double frac = static_cast<double>(phaseLeft_) /
-            static_cast<double>(rampTotal_ + 1);
-        activity = timing_.stallActivity +
-            (rampStartActivity_ - timing_.stallActivity) * frac;
-        accounted = cause_;
-        if (--phaseLeft_ == 0) {
-            if (timing_.stallCycles > 0) {
-                state_ = EngineState::Stalled;
-                phaseLeft_ = timing_.stallCycles;
-            } else if (timing_.surgeCycles > 0) {
-                state_ = EngineState::Surge;
-                phaseLeft_ = timing_.surgeCycles;
-            } else {
-                state_ = EngineState::Running;
-                cause_ = StallCause::None;
-            }
-        }
-        break;
-      }
-
-      case EngineState::Stalled:
-        activity = timing_.stallActivity;
-        accounted = cause_;
-        if (--phaseLeft_ == 0) {
-            if (timing_.surgeCycles > 0) {
-                state_ = EngineState::Surge;
-                phaseLeft_ = timing_.surgeCycles;
-                surgeTotal_ = timing_.surgeCycles;
-            } else {
-                state_ = EngineState::Running;
-                cause_ = StallCause::None;
-            }
-        }
-        break;
-
-      case EngineState::Surge: {
-        activity = timing_.surgeActivity;
-        if (timing_.burstySurge) {
-            // Dependence-limited refill waves: alternate between the
-            // surge level and a trough every wavePeriod cycles.
-            const std::uint32_t elapsed = surgeTotal_ - phaseLeft_;
-            const std::uint32_t wave = elapsed / timing_.wavePeriod;
-            if (wave % 2 == 1)
-                activity = timing_.waveLowActivity;
-        }
-        // The refill burst is productive work, not a stall: no cause
-        // accounting.
-        if (--phaseLeft_ == 0) {
-            state_ = EngineState::Running;
-            cause_ = StallCause::None;
-        }
-        break;
-      }
-    }
-
-    counters.tickCycle(accounted);
-    return activity;
-}
-
 } // namespace vsmooth::cpu

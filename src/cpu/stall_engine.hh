@@ -109,7 +109,9 @@ class StallEngine
     /**
      * Advance one cycle; returns the activity level in [0, ~1.2] for
      * this cycle and updates the given counters (cycle + stall
-     * attribution; the caller accounts instructions).
+     * attribution; the caller accounts instructions). Defined inline
+     * below: this runs once per core per simulated cycle, and keeping
+     * it header-visible lets core models fold it into their tick loop.
      */
     double tick(PerfCounters &counters);
 
@@ -126,6 +128,50 @@ class StallEngine
     EngineState state() const { return state_; }
     StallCause currentCause() const { return cause_; }
 
+    /**
+     * Length of the stretch of upcoming cycles over which tick()
+     * would output a constant activity level without leaving the
+     * current waveform segment (zero when the next tick could change
+     * state or activity — Running, ramp-down, or a bursty surge).
+     * Always leaves the segment's final cycle for tick() so the state
+     * transition runs through the one per-cycle implementation.
+     */
+    std::uint32_t
+    constantRunCycles() const
+    {
+        switch (state_) {
+          case EngineState::Stalled:
+            return phaseLeft_ - 1;
+          case EngineState::Surge:
+            return timing_.burstySurge ? 0 : phaseLeft_ - 1;
+          default:
+            return 0;
+        }
+    }
+
+    /** The constant activity level of that stretch. */
+    double
+    constantRunActivity() const
+    {
+        return state_ == EngineState::Stalled ? timing_.stallActivity
+                                              : timing_.surgeActivity;
+    }
+
+    /**
+     * Advance n <= constantRunCycles() cycles at once: exactly n
+     * tick() calls of the current segment (cycle accounting batched
+     * through the integer counters, which is exact).
+     */
+    void
+    advanceConstantRun(std::uint32_t n, PerfCounters &counters)
+    {
+        phaseLeft_ -= n;
+        counters.tickCycles(state_ == EngineState::Stalled
+                                ? cause_
+                                : StallCause::None,
+                            n);
+    }
+
     /** Update the steady running activity level (phase changes). */
     void setRunningActivity(double activity) { running_ = activity; }
     double runningActivity() const { return running_; }
@@ -140,6 +186,78 @@ class StallEngine
     std::uint32_t rampTotal_ = 0;
     std::uint32_t surgeTotal_ = 0;
 };
+
+inline double
+StallEngine::tick(PerfCounters &counters)
+{
+    double activity = running_;
+    StallCause accounted = StallCause::None;
+
+    switch (state_) {
+      case EngineState::Running:
+        break;
+
+      case EngineState::RampDown: {
+        // Linear drain from the running level to the stall floor;
+        // the first ramp cycle already moves below the running level.
+        const double frac = static_cast<double>(phaseLeft_) /
+            static_cast<double>(rampTotal_ + 1);
+        activity = timing_.stallActivity +
+            (rampStartActivity_ - timing_.stallActivity) * frac;
+        accounted = cause_;
+        if (--phaseLeft_ == 0) {
+            if (timing_.stallCycles > 0) {
+                state_ = EngineState::Stalled;
+                phaseLeft_ = timing_.stallCycles;
+            } else if (timing_.surgeCycles > 0) {
+                state_ = EngineState::Surge;
+                phaseLeft_ = timing_.surgeCycles;
+            } else {
+                state_ = EngineState::Running;
+                cause_ = StallCause::None;
+            }
+        }
+        break;
+      }
+
+      case EngineState::Stalled:
+        activity = timing_.stallActivity;
+        accounted = cause_;
+        if (--phaseLeft_ == 0) {
+            if (timing_.surgeCycles > 0) {
+                state_ = EngineState::Surge;
+                phaseLeft_ = timing_.surgeCycles;
+                surgeTotal_ = timing_.surgeCycles;
+            } else {
+                state_ = EngineState::Running;
+                cause_ = StallCause::None;
+            }
+        }
+        break;
+
+      case EngineState::Surge: {
+        activity = timing_.surgeActivity;
+        if (timing_.burstySurge) {
+            // Dependence-limited refill waves: alternate between the
+            // surge level and a trough every wavePeriod cycles.
+            const std::uint32_t elapsed = surgeTotal_ - phaseLeft_;
+            const std::uint32_t wave = elapsed / timing_.wavePeriod;
+            if (wave % 2 == 1)
+                activity = timing_.waveLowActivity;
+        }
+        // The refill burst is productive work, not a stall: no cause
+        // accounting.
+        if (--phaseLeft_ == 0) {
+            state_ = EngineState::Running;
+            cause_ = StallCause::None;
+        }
+        break;
+      }
+    }
+
+    counters.tickCycle(accounted);
+    return activity;
+}
 
 } // namespace vsmooth::cpu
 

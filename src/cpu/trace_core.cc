@@ -80,6 +80,28 @@ TraceCore::tick()
 }
 
 void
+TraceCore::tickBlock(double *activity, std::size_t n)
+{
+    // One virtual dispatch per block; the devirtualized tick inlines
+    // into the loop and replays the trace with identical bookkeeping.
+    for (std::size_t j = 0; j < n; ++j)
+        activity[j] = TraceCore::tick();
+}
+
+Cycles
+TraceCore::minTicksUntilFinished() const
+{
+    if (done_)
+        return engine_.inEvent() ? 1 : 0;
+    if (loop_)
+        return ~Cycles(0);
+    // The trace advances one entry per non-event tick, so the
+    // remaining entries are a lower bound (an in-flight injected
+    // event only pushes completion further out).
+    return trace_.activity.size() - position_;
+}
+
+void
 TraceCore::injectRecoveryStall(std::uint32_t cycles)
 {
     counters_.recordEvent(StallCause::Recovery);

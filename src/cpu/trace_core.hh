@@ -51,10 +51,12 @@ class TraceCore : public CoreModel
                        double stallThreshold = 0.3);
 
     double tick() override;
+    void tickBlock(double *activity, std::size_t n) override;
     const PerfCounters &counters() const override { return counters_; }
     void injectRecoveryStall(std::uint32_t cycles) override;
     void injectPlatformInterrupt() override;
     bool finished() const override;
+    Cycles minTicksUntilFinished() const override;
 
     /** Position in the trace (wraps when looping). */
     std::size_t position() const { return position_; }

@@ -103,6 +103,31 @@ class DroopDetectorBank
         }
     }
 
+    /**
+     * Feed a block of consecutive samples. The shallowest margin's
+     * threshold is hoisted into a local so the common case — an idle
+     * bank seeing an in-margin sample — is a flag load plus one
+     * compare per sample; anything else drops into the per-sample
+     * feed(). The skip condition is exactly feed()'s first-iteration
+     * break (the shallowest detector is idle and untriggered, which
+     * by the sorted-margin invariant means every detector is), so the
+     * block path is bit-identical to feeding sample by sample.
+     */
+    void
+    feedBlock(const double *deviations, std::size_t n)
+    {
+        if (detectors_.empty())
+            return;
+        const DroopDetector &front = detectors_.front();
+        const double shallow = -front.margin();
+        for (std::size_t j = 0; j < n; ++j) {
+            const double d = deviations[j];
+            if (!front.inEvent() && d >= shallow)
+                continue;
+            feed(d);
+        }
+    }
+
     std::size_t size() const { return detectors_.size(); }
     const DroopDetector &detector(std::size_t i) const
     { return detectors_.at(i); }

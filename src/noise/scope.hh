@@ -25,6 +25,13 @@ class Scope
     /** Record one per-cycle deviation sample. */
     void record(double deviation) { histogram_.add(deviation); }
 
+    /** Record a block of consecutive per-cycle deviation samples. */
+    void
+    recordBlock(const double *deviations, std::size_t n)
+    {
+        histogram_.addBlock(deviations, n);
+    }
+
     /** Merge another scope's samples (multi-run aggregation). */
     void merge(const Scope &other) { histogram_.merge(other.histogram_); }
 

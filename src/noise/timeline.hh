@@ -18,6 +18,7 @@
 #ifndef VSMOOTH_NOISE_TIMELINE_HH
 #define VSMOOTH_NOISE_TIMELINE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -48,6 +49,36 @@ class NoiseTimeline
         }
         if (++cyclesThisInterval_ == intervalCycles_)
             closeInterval();
+    }
+
+    /**
+     * Feed a block of consecutive samples. The margin and the two
+     * counters are held in locals between interval boundaries; the
+     * per-sample work is one compare plus increments, with the same
+     * counting (and interval-close points) as feed() per cycle.
+     */
+    void
+    feedBlock(const double *deviations, std::size_t n)
+    {
+        const double margin = margin_;
+        std::size_t j = 0;
+        while (j < n) {
+            const Cycles room = intervalCycles_ - cyclesThisInterval_;
+            const std::size_t chunk =
+                static_cast<std::size_t>(
+                    std::min<Cycles>(room, n - j));
+            std::uint64_t droops = 0;
+            for (std::size_t k = j; k < j + chunk; ++k) {
+                if (deviations[k] < -margin)
+                    ++droops;
+            }
+            droopsThisInterval_ += droops;
+            totalDroops_ += droops;
+            cyclesThisInterval_ += chunk;
+            if (cyclesThisInterval_ == intervalCycles_)
+                closeInterval();
+            j += chunk;
+        }
     }
 
     /** Close any partial interval and return the series. */

@@ -53,6 +53,30 @@ class TraceWriter
         }
     }
 
+    /**
+     * Record a block of consecutive cycles starting at startCycle.
+     * The frozen check is paid once per block; the ring-buffer wrap
+     * arithmetic matches record() sample for sample.
+     */
+    void
+    recordBlock(Cycles startCycle, const double *deviations,
+                const double *currentAmps, std::size_t n)
+    {
+        if (frozen_)
+            return;
+        std::size_t j = 0;
+        while (samples_.size() < capacity_ && j < n) {
+            samples_.push_back(
+                {startCycle + j, deviations[j], currentAmps[j]});
+            ++j;
+        }
+        for (; j < n; ++j) {
+            samples_[head_] =
+                {startCycle + j, deviations[j], currentAmps[j]};
+            head_ = (head_ + 1) % capacity_;
+        }
+    }
+
     /** Stop recording; the current window is preserved. */
     void freeze() { frozen_ = true; }
     bool frozen() const { return frozen_; }

@@ -9,6 +9,7 @@ namespace vsmooth::pdn {
 SecondOrderPdn::SecondOrderPdn(const SecondOrderParams &params, Seconds dt,
                                double rippleFraction, Hertz rippleFrequency)
     : vdd_(params.vdd.value()),
+      invVdd_(1.0 / params.vdd.value()),
       rs_(params.rSeries.value()),
       rc_(params.rDamp.value()),
       l_(params.l.value()),
@@ -75,6 +76,28 @@ SecondOrderPdn::SecondOrderPdn(const PackageConfig &cfg, Seconds dt)
 }
 
 double
+SecondOrderPdn::step(double loadAmps)
+{
+    // Average the ripple over the step endpoints (trapezoidal input).
+    // The ripple-free short-circuit is exact: rippleAt() returns 0.0
+    // on both endpoints, and vdd_ + 0.5 * (0.0 + 0.0) == vdd_
+    // bitwise.
+    const double vdd_eff = rippleAmp_ == 0.0
+        ? vdd_
+        : vdd_ + 0.5 * (rippleAt(time_) + rippleAt(time_ + dt_));
+    const double i0 = iL_;
+    const double v0 = vC_;
+    // Input terms grouped apart from the state terms: the grouping is
+    // shared with the block path, where it keeps the per-sample input
+    // work off the iL/vC carried dependency chain.
+    iL_ = (m00_ * i0 + m01_ * v0) + (n00_ * vdd_eff + n01_ * loadAmps);
+    vC_ = (m10_ * i0 + m11_ * v0) + (n10_ * vdd_eff + n11_ * loadAmps);
+    vDie_ = vC_ + rc_ * (iL_ - loadAmps);
+    time_ += dt_;
+    return vDie_;
+}
+
+double
 SecondOrderPdn::rippleAt(double t) const
 {
     if (rippleAmp_ == 0.0)
@@ -88,19 +111,65 @@ SecondOrderPdn::rippleAt(double t) const
     return rippleAmp_ * tri;
 }
 
-double
-SecondOrderPdn::step(double loadAmps)
+void
+SecondOrderPdn::stepBlock(const double *load, double *deviation,
+                          std::size_t n)
 {
-    // Average the ripple over the step endpoints (trapezoidal input).
-    const double vdd_eff =
-        vdd_ + 0.5 * (rippleAt(time_) + rippleAt(time_ + dt_));
-    const double i0 = iL_;
-    const double v0 = vC_;
-    iL_ = m00_ * i0 + m01_ * v0 + n00_ * vdd_eff + n01_ * loadAmps;
-    vC_ = m10_ * i0 + m11_ * v0 + n10_ * vdd_eff + n11_ * loadAmps;
-    vDie_ = vC_ + rc_ * (iL_ - loadAmps);
-    time_ += dt_;
-    return vDie_;
+    // Bit-identity throughout: every sample sees exactly step()'s
+    // arithmetic (and the ripple-free short-circuit is exact:
+    // rippleAt() == 0.0 makes vdd_eff == vdd_ bitwise), state merely
+    // lives in locals for the duration of the block.
+    if (rippleAmp_ != 0.0) {
+        BlockStepper s = cursor();
+        for (std::size_t j = 0; j < n; ++j)
+            deviation[j] = s.step(load[j]);
+        commit(s);
+        return;
+    }
+    // Ripple-free fast path, two passes. The input terms
+    // (n00*vdd + n01*load) depend only on the sample's load, so a
+    // first pass computes them elementwise (no carried dependency —
+    // the compiler can vectorize it), and the recurrence pass carries
+    // only the lean mul+add chain per state. n00*vdd is loop
+    // invariant; hoisting it is common-subexpression elimination, not
+    // a reordering, so the sums are unchanged.
+    if (scratch0_.size() < n) {
+        scratch0_.resize(n);
+        scratch1_.resize(n);
+    }
+    double *const u0 = scratch0_.data();
+    double *const u1 = scratch1_.data();
+    {
+        const double kv0 = n00_ * vdd_;
+        const double kv1 = n10_ * vdd_;
+        const double n01 = n01_;
+        const double n11 = n11_;
+        for (std::size_t j = 0; j < n; ++j) {
+            u0[j] = kv0 + n01 * load[j];
+            u1[j] = kv1 + n11 * load[j];
+        }
+    }
+    const double m00 = m00_, m01 = m01_, m10 = m10_, m11 = m11_;
+    const double rc = rc_;
+    const double invVdd = invVdd_;
+    const double dt = dt_;
+    double iL = iL_;
+    double vC = vC_;
+    double vDie = vDie_;
+    double t = time_;
+    for (std::size_t j = 0; j < n; ++j) {
+        const double i0 = iL;
+        const double v0 = vC;
+        iL = (m00 * i0 + m01 * v0) + u0[j];
+        vC = (m10 * i0 + m11 * v0) + u1[j];
+        vDie = vC + rc * (iL - load[j]);
+        t += dt;
+        deviation[j] = vDie * invVdd - 1.0;
+    }
+    iL_ = iL;
+    vC_ = vC;
+    vDie_ = vDie;
+    time_ = t;
 }
 
 void

@@ -24,7 +24,9 @@
 #ifndef VSMOOTH_PDN_SECOND_ORDER_HH
 #define VSMOOTH_PDN_SECOND_ORDER_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/units.hh"
 #include "pdn/package_config.hh"
@@ -55,6 +57,78 @@ class SecondOrderPdn
      */
     double step(double loadAmps);
 
+    /**
+     * Hoisted per-sample kernel for batched execution: the update
+     * matrix and the integrator state as plain values, so a caller
+     * can keep the loop-carried iL/vC chain in registers across a
+     * whole block and overlap it with the current models' smoothing
+     * chains. step() performs exactly the arithmetic of step()
+     * followed by voltageDeviation(); commit() writes the state
+     * back.
+     */
+    struct BlockStepper
+    {
+        double m00, m01, m10, m11;
+        double n00, n01, n10, n11;
+        double vdd;
+        double invVdd;
+        double rc;
+        double dt;
+        double rippleAmp;
+        const SecondOrderPdn *pdn;
+        double iL;
+        double vC;
+        double vDie;
+        double t;
+
+        /** One step; returns the deviation (vDie/vdd - 1). */
+        double step(double loadAmps)
+        {
+            const double vdd_eff = rippleAmp == 0.0
+                ? vdd
+                : vdd + 0.5 * (pdn->rippleAt(t) + pdn->rippleAt(t + dt));
+            const double i0 = iL;
+            const double v0 = vC;
+            // The input terms are grouped apart from the state terms
+            // (matching step() exactly): they depend only on this
+            // sample's load, which keeps them off the iL/vC carried
+            // dependency chain.
+            iL = (m00 * i0 + m01 * v0) + (n00 * vdd_eff + n01 * loadAmps);
+            vC = (m10 * i0 + m11 * v0) + (n10 * vdd_eff + n11 * loadAmps);
+            vDie = vC + rc * (iL - loadAmps);
+            t += dt;
+            return vDie * invVdd - 1.0;
+        }
+    };
+
+    BlockStepper cursor() const
+    {
+        return BlockStepper{m00_, m01_, m10_, m11_,
+                            n00_, n01_, n10_, n11_,
+                            vdd_, invVdd_, rc_, dt_, rippleAmp_,
+                            this, iL_, vC_, vDie_, time_};
+    }
+
+    void commit(const BlockStepper &s)
+    {
+        iL_ = s.iL;
+        vC_ = s.vC;
+        vDie_ = s.vDie;
+        time_ = s.t;
+    }
+
+    /**
+     * Advance n timesteps, reading load[j] amps for step j and
+     * writing the resulting die-voltage deviation (signed fraction of
+     * nominal, as voltageDeviation()) to deviation[j]. The loop body
+     * performs the *same floating-point operations in the same order*
+     * as n successive step() calls — state is merely held in locals —
+     * so the results are bit-identical to stepping one cycle at a
+     * time.
+     */
+    void stepBlock(const double *load, double *deviation,
+                   std::size_t n);
+
     /** Die voltage after the last step. */
     double voltage() const { return vDie_; }
 
@@ -64,8 +138,10 @@ class SecondOrderPdn
     /** Nominal supply voltage. */
     double vddNominal() const { return vdd_; }
 
-    /** Die voltage as a signed fraction of nominal (0 = nominal). */
-    double voltageDeviation() const { return vDie_ / vdd_ - 1.0; }
+    /** Die voltage as a signed fraction of nominal (0 = nominal).
+     *  Uses the precomputed 1/vdd: this is read every simulated
+     *  cycle, and the divide otherwise dominates the sample. */
+    double voltageDeviation() const { return vDie_ * invVdd_ - 1.0; }
 
     /** Elapsed simulated time. */
     Seconds time() const { return Seconds(time_); }
@@ -82,6 +158,8 @@ class SecondOrderPdn
     double rippleAt(double t) const;
 
     double vdd_;
+    /** Precomputed 1/vdd_ for the per-sample deviation scaling. */
+    double invVdd_;
     double rs_;
     double rc_;
     double l_;
@@ -100,6 +178,11 @@ class SecondOrderPdn
     double vC_ = 0.0;
     double vDie_ = 0.0;
     double time_ = 0.0;
+
+    /** Scratch lanes for stepBlock's elementwise input pass (sized on
+     *  first use, then reused across blocks). */
+    std::vector<double> scratch0_;
+    std::vector<double> scratch1_;
 };
 
 } // namespace vsmooth::pdn

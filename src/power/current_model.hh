@@ -17,6 +17,9 @@
 #ifndef VSMOOTH_POWER_CURRENT_MODEL_HH
 #define VSMOOTH_POWER_CURRENT_MODEL_HH
 
+#include <algorithm>
+#include <cstddef>
+
 #include "common/units.hh"
 
 namespace vsmooth::power {
@@ -65,6 +68,85 @@ class CurrentModel
      * limiting against the previous cycle's output.
      */
     double currentFor(double activity);
+
+    /**
+     * Hoisted per-sample kernel for batched execution: the model
+     * parameters and the smoothing/slew state as plain values, so a
+     * caller can keep the loop-carried `prev` chain in a register
+     * across a whole block (and overlap it with other stages'
+     * chains). step() performs exactly currentFor()'s arithmetic;
+     * commit() writes the state back. alpha is 1/(1+tau), the same
+     * expression currentFor evaluates, so the value is identical.
+     */
+    struct BlockCursor
+    {
+        double prev;
+        double tau;
+        double alpha;
+        double slew;
+        double leak;
+        double idleClk;
+        double dynMax;
+
+        double step(double activity)
+        {
+            const double a = std::min(std::max(activity, 0.0), 2.5);
+            const double clock_current =
+                idleClk * (0.25 + 0.75 * std::min(a, 1.0));
+            return smooth(leak + clock_current + dynMax * a);
+        }
+
+        /**
+         * The smoothing/slew tail of step() alone, for callers that
+         * have already run the elementwise steady-current conversion
+         * over a whole lane (steadyBlock): only this part carries
+         * state from sample to sample.
+         */
+        double smooth(double target)
+        {
+            if (tau > 0.0)
+                target = prev + alpha * (target - prev);
+            if (slew > 0.0) {
+                const double delta =
+                    std::clamp(target - prev, -slew, slew);
+                target = prev + delta;
+            }
+            prev = target;
+            return target;
+        }
+    };
+
+    BlockCursor cursor() const
+    {
+        return BlockCursor{previous_,
+                           params_.smoothingTauCycles,
+                           1.0 / (1.0 + params_.smoothingTauCycles),
+                           params_.maxSlewPerCycle,
+                           params_.leakage.value(),
+                           params_.idleClock.value(),
+                           params_.dynamicMax.value()};
+    }
+
+    void commit(const BlockCursor &c) { previous_ = c.prev; }
+
+    /**
+     * Convert a block of per-cycle activity levels to amps and add
+     * them onto the running per-cycle chip totals. Same per-cycle
+     * arithmetic as currentFor() (via BlockCursor); the fused
+     * accumulate keeps the chip total's summation order equal to the
+     * scalar path's core-index-order additions.
+     */
+    void accumulateBlock(const double *activity, double *totalAmps,
+                         std::size_t n);
+
+    /**
+     * Elementwise steadyCurrent() over a lane; no sample-to-sample
+     * state, so the compiler can vectorize it (identical per-sample
+     * arithmetic either way). In-place operation (steady == activity)
+     * is allowed.
+     */
+    void steadyBlock(const double *activity, double *steady,
+                     std::size_t n) const;
 
     /** Steady-state current at an activity level (no slew state). */
     double steadyCurrent(double activity) const;

@@ -1,6 +1,7 @@
 #include "system.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.hh"
 
@@ -13,6 +14,18 @@ marginsOrDefault(const SystemConfig &cfg)
 {
     return cfg.watchMargins.empty() ? defaultMarginSweep()
                                     : cfg.watchMargins;
+}
+
+/** Environment escape hatch forcing the per-cycle scalar path, so
+ *  golden runs can cross-check blocked vs scalar end to end. */
+bool
+scalarTickForced()
+{
+    static const bool forced = [] {
+        const char *e = std::getenv("VSMOOTH_SCALAR_TICK");
+        return e && *e && *e != '0';
+    }();
+    return forced;
 }
 
 } // namespace
@@ -35,6 +48,16 @@ System::System(const SystemConfig &cfg)
         predictor_.emplace(cfg.predictorParams);
     if (cfg.enableResonanceDamper)
         damper_.emplace(cfg.damperParams);
+
+    // The batched fast path is sound only when nothing feeds a
+    // per-cycle observation back into execution: the emergency
+    // detector injects recovery stalls, the predictor and damper
+    // throttle, and split rails need per-cycle per-core currents.
+    // OS-tick injections are handled by truncating blocks at the
+    // injection cycle, so they do not disqualify the fast path.
+    blockEligible_ = cfg_.enableBlockedExecution && !scalarTickForced() &&
+        !emergencyDetector_ && !predictor_ && !damper_ &&
+        !cfg_.splitSupplies;
 }
 
 std::size_t
@@ -49,42 +72,70 @@ System::addCore(std::unique_ptr<cpu::CoreModel> core)
 }
 
 void
+System::start()
+{
+    if (started_)
+        return;
+    const std::size_t nCores = cores_.size();
+    if (nCores == 0)
+        fatal("System: no cores attached");
+    started_ = true;
+    coreCurrents_.resize(nCores);
+    // Settle the PDN at the initial combined idle current so the
+    // first samples are not a spurious power-on transient.
+    double idle = 0.0;
+    for (auto &cm : currents_)
+        idle += cm.idleCurrent();
+    pdn_.reset(idle);
+    if (cfg_.splitSupplies) {
+        // Each rail owns an equal share of the decap (and of the
+        // parallel delivery paths, so L and R scale up).
+        auto params = pdn::secondOrderEquivalent(cfg_.package);
+        const double n = static_cast<double>(nCores);
+        params.c = params.c / n;
+        params.l = params.l * n;
+        params.rSeries = params.rSeries * n;
+        params.rDamp = params.rDamp * n;
+        rails_.clear();
+        for (std::size_t i = 0; i < nCores; ++i) {
+            rails_.emplace_back(params,
+                                toPeriod(cfg_.clockFrequency),
+                                cfg_.package.rippleFraction,
+                                cfg_.package.rippleFrequency);
+            rails_.back().reset(currents_[i].idleCurrent());
+        }
+    }
+    if (cfg_.osTickInterval > 0) {
+        // Per-core countdowns to the staggered OS-tick injection
+        // cycles, replacing a per-core modulo in the per-cycle hot
+        // loop. Core i injects on every cycle c with
+        // (c + i * 517) % interval == interval - 1; the countdown
+        // holds the number of ticks before the next such cycle
+        // (0 = the next tick injects).
+        const Cycles interval = cfg_.osTickInterval;
+        osTickCountdown_.resize(nCores);
+        for (std::size_t i = 0; i < nCores; ++i) {
+            osTickCountdown_[i] =
+                interval - 1 - (cycles_ + i * 517) % interval;
+        }
+    }
+    if (blockEligible_) {
+        // One activity lane per core: the cores fill their lanes
+        // block-wise, then the fused loop walks all lanes in step.
+        blockActivity_.resize(nCores * kBlockCycles);
+        blockTotal_.resize(kBlockCycles);
+        blockDeviation_.resize(kBlockCycles);
+    }
+}
+
+void
 System::tick()
 {
     // tick() runs hundreds of millions of times per sweep: hoist the
     // core count, mitigation handles, and config flags into locals so
     // the loop bodies stay tight.
+    start();
     const std::size_t nCores = cores_.size();
-    if (nCores == 0)
-        fatal("System: no cores attached");
-    if (!started_) {
-        started_ = true;
-        coreCurrents_.resize(nCores);
-        // Settle the PDN at the initial combined idle current so the
-        // first samples are not a spurious power-on transient.
-        double idle = 0.0;
-        for (auto &cm : currents_)
-            idle += cm.idleCurrent();
-        pdn_.reset(idle);
-        if (cfg_.splitSupplies) {
-            // Each rail owns an equal share of the decap (and of the
-            // parallel delivery paths, so L and R scale up).
-            auto params = pdn::secondOrderEquivalent(cfg_.package);
-            const double n = static_cast<double>(nCores);
-            params.c = params.c / n;
-            params.l = params.l * n;
-            params.rSeries = params.rSeries * n;
-            params.rDamp = params.rDamp * n;
-            rails_.clear();
-            for (std::size_t i = 0; i < nCores; ++i) {
-                rails_.emplace_back(params,
-                                    toPeriod(cfg_.clockFrequency),
-                                    cfg_.package.rippleFraction,
-                                    cfg_.package.rippleFrequency);
-                rails_.back().reset(currents_[i].idleCurrent());
-            }
-        }
-    }
 
     resilience::EmergencyPredictor *const predictor =
         predictor_ ? &*predictor_ : nullptr;
@@ -99,10 +150,11 @@ System::tick()
         // superposition is what couples deep droops to the
         // co-runner's noise.
         for (std::size_t i = 0; i < nCores; ++i) {
-            if ((cycles_ + i * 517) % cfg_.osTickInterval ==
-                cfg_.osTickInterval - 1) {
+            if (osTickCountdown_[i] == 0) {
                 cores_[i]->injectPlatformInterrupt();
+                osTickCountdown_[i] = cfg_.osTickInterval;
             }
+            --osTickCountdown_[i];
         }
     }
 
@@ -176,11 +228,117 @@ System::tick()
     ++cycles_;
 }
 
+Cycles
+System::blockLimit(Cycles want) const
+{
+    Cycles n = std::min<Cycles>(want, kBlockCycles);
+    // A block must not contain an OS-tick injection cycle: countdown
+    // k means core i injects on the k-th tick from now, so any block
+    // of length <= min(k) is injection-free. When a countdown is 0
+    // the caller falls back to one per-cycle tick(), which performs
+    // the injection.
+    for (const Cycles cd : osTickCountdown_)
+        n = std::min(n, cd);
+    return n;
+}
+
+void
+System::tickBlock(Cycles n)
+{
+    // The batched pipeline, stage by stage. Each core fills its
+    // activity lane for the whole block (one virtual dispatch per
+    // core instead of one per cycle); each current model converts and
+    // accumulates its lane onto the chip totals with its smoothing
+    // state hoisted into cursor locals; the PDN integrates the whole
+    // block the same way; then the scope/detector sinks consume the
+    // deviation lane in bulk. Every stage performs exactly the
+    // arithmetic the per-cycle path performs, in the same order — see
+    // DESIGN.md "Batched execution" for the bit-identity argument.
+    const std::size_t nCores = cores_.size();
+    const auto nn = static_cast<std::size_t>(n);
+    const auto stride = static_cast<std::size_t>(kBlockCycles);
+    double *const act = blockActivity_.data();
+    double *const total = blockTotal_.data();
+    double *const dev = blockDeviation_.data();
+
+    for (std::size_t i = 0; i < nCores; ++i)
+        cores_[i]->tickBlock(act + i * stride, nn);
+
+    // Cores accumulate in index order onto a 0.0 seed, matching the
+    // scalar loop's summation exactly. The steady-current conversion
+    // is elementwise, so it runs (vectorizably) over each lane in
+    // place first; only the smoothing/slew chain carries state, and
+    // the dominant one- and two-core shapes run those chains in one
+    // fused loop so they overlap in the out-of-order window instead
+    // of running one whole block after the other.
+    if (nCores == 2) {
+        currents_[0].steadyBlock(act, act, nn);
+        currents_[1].steadyBlock(act + stride, act + stride, nn);
+        auto c0 = currents_[0].cursor();
+        auto c1 = currents_[1].cursor();
+        const double *const a0 = act;
+        const double *const a1 = act + stride;
+        for (std::size_t j = 0; j < nn; ++j) {
+            double totalJ = 0.0;
+            totalJ += c0.smooth(a0[j]);
+            totalJ += c1.smooth(a1[j]);
+            total[j] = totalJ;
+        }
+        currents_[0].commit(c0);
+        currents_[1].commit(c1);
+    } else if (nCores == 1) {
+        currents_[0].steadyBlock(act, act, nn);
+        auto c0 = currents_[0].cursor();
+        for (std::size_t j = 0; j < nn; ++j) {
+            double totalJ = 0.0;
+            totalJ += c0.smooth(act[j]);
+            total[j] = totalJ;
+        }
+        currents_[0].commit(c0);
+    } else {
+        std::fill(total, total + nn, 0.0);
+        for (std::size_t i = 0; i < nCores; ++i)
+            currents_[i].accumulateBlock(act + i * stride, total, nn);
+    }
+    pdn_.stepBlock(total, dev, nn);
+    lastCurrent_ = total[nn - 1];
+
+    scope_.recordBlock(dev, nn);
+    bank_.feedBlock(dev, nn);
+    if (timeline_)
+        timeline_->feedBlock(dev, nn);
+    if (trace_)
+        trace_->recordBlock(cycles_, dev, total, nn);
+
+    for (Cycles &cd : osTickCountdown_)
+        cd -= n;
+    cycles_ += n;
+}
+
 void
 System::run(Cycles n)
 {
-    for (Cycles i = 0; i < n; ++i)
-        tick();
+    if (!blockEligible_) {
+        for (Cycles i = 0; i < n; ++i)
+            tick();
+        return;
+    }
+    if (n == 0)
+        return;
+    start();
+    Cycles remaining = n;
+    while (remaining > 0) {
+        const Cycles blk = blockLimit(remaining);
+        if (blk == 0) {
+            // An OS-tick injection is due this cycle: deliver it
+            // through the per-cycle path, then resume blocking.
+            tick();
+            --remaining;
+            continue;
+        }
+        tickBlock(blk);
+        remaining -= blk;
+    }
 }
 
 Cycles
@@ -211,6 +369,26 @@ System::runUntilFinished(Cycles maxCycles)
             }
             if (remaining == 0)
                 break;
+        }
+        if (blockEligible_) {
+            // The run can only stop once *every* core is finished, so
+            // the largest per-core lower bound on ticks-to-finish is
+            // a stretch in which no per-cycle finish check is needed.
+            Cycles bound = 0;
+            for (std::size_t i = 0; i < nCores; ++i) {
+                bound = std::max(bound,
+                                 cores_[i]->minTicksUntilFinished());
+            }
+            if (bound > 0) {
+                start();
+                const Cycles blk =
+                    blockLimit(std::min(bound, maxCycles - executed));
+                if (blk > 0) {
+                    tickBlock(blk);
+                    executed += blk;
+                    continue;
+                }
+            }
         }
         tick();
         ++executed;

@@ -95,12 +95,29 @@ struct SystemConfig
     bool enableTimeline = false;
     Cycles timelineInterval = 100'000;
     double timelineMargin = kIdleMargin;
+
+    /**
+     * Batched block-wise execution of run()/runUntilFinished() when
+     * no per-cycle feedback consumer is active (see DESIGN.md
+     * "Batched execution"). Results are bit-identical either way;
+     * this switch (and the VSMOOTH_SCALAR_TICK environment variable)
+     * exists so the differential tests and golden cross-checks can
+     * force the cycle-at-a-time path.
+     */
+    bool enableBlockedExecution = true;
 };
 
 /** Multi-core system simulation. */
 class System
 {
   public:
+    /**
+     * Cycles per batched fast-path block: long enough to amortize
+     * virtual dispatch and cross-component call overhead, short
+     * enough that the scratch buffers stay cache-resident.
+     */
+    static constexpr Cycles kBlockCycles = 256;
+
     explicit System(const SystemConfig &cfg);
 
     /**
@@ -155,7 +172,33 @@ class System
 
     const SystemConfig &config() const { return cfg_; }
 
+    /**
+     * True when run()/runUntilFinished() execute through the batched
+     * block pipeline (no per-cycle feedback consumer configured).
+     */
+    bool blockedExecutionActive() const { return blockEligible_; }
+
   private:
+    /** One-time start-of-simulation initialization (PDN settling,
+     *  per-rail construction, OS-tick countdowns, block buffers). */
+    void start();
+
+    /**
+     * Run one batched block of n cycles (n >= 1, started_, no OS-tick
+     * injection due inside the block): core tickBlock -> current
+     * conversion -> PDN stepBlock -> block-fed instrumentation.
+     * Bit-identical to n tick() calls under the fast-path eligibility
+     * conditions.
+     */
+    void tickBlock(Cycles n);
+
+    /**
+     * Largest admissible fast block not exceeding `want`: capped by
+     * kBlockCycles and by the nearest pending OS-tick injection.
+     * 0 means the next cycle must go through per-cycle tick().
+     */
+    Cycles blockLimit(Cycles want) const;
+
     SystemConfig cfg_;
     pdn::SecondOrderPdn pdn_;
     /** Per-core rails when splitSupplies is set (built lazily at the
@@ -178,6 +221,15 @@ class System
     std::vector<double> coreCurrents_;
     double lastCurrent_ = 0.0;
     bool started_ = false;
+    /** Fast-path eligibility, fixed at construction. */
+    bool blockEligible_ = false;
+    /** Per-core ticks until the next OS-tick injection (0 = the next
+     *  tick injects); empty when osTickInterval is 0. */
+    std::vector<Cycles> osTickCountdown_;
+    /** Block-pipeline scratch (kBlockCycles each, allocated once). */
+    std::vector<double> blockActivity_;
+    std::vector<double> blockTotal_;
+    std::vector<double> blockDeviation_;
 };
 
 } // namespace vsmooth::sim

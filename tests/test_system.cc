@@ -197,3 +197,77 @@ TEST(SystemDeath, TimelineNotEnabled)
     EXPECT_EXIT(sys.timelineSeries(), ::testing::ExitedWithCode(1),
                 "timeline");
 }
+
+namespace {
+
+/** Core stub that records the cycle index of every platform
+ *  interrupt it receives (cycle = ticks seen so far, since the System
+ *  injects before advancing the cores for that cycle). */
+class InjectionRecorder : public cpu::CoreModel
+{
+  public:
+    double tick() override
+    {
+        ++ticks_;
+        return 0.3;
+    }
+    const cpu::PerfCounters &counters() const override
+    { return counters_; }
+    void injectRecoveryStall(std::uint32_t) override {}
+    void injectPlatformInterrupt() override
+    { injections_.push_back(ticks_); }
+    bool finished() const override { return false; }
+
+    const std::vector<Cycles> &injections() const { return injections_; }
+
+  private:
+    std::uint64_t ticks_ = 0;
+    cpu::PerfCounters counters_;
+    std::vector<Cycles> injections_;
+};
+
+std::vector<Cycles>
+expectedInjectionCycles(std::size_t coreIdx, Cycles interval, Cycles n)
+{
+    // The documented staggering contract: core i takes its tick on
+    // every cycle c with (c + i * 517) % interval == interval - 1.
+    std::vector<Cycles> cycles;
+    for (Cycles c = 0; c < n; ++c) {
+        if ((c + coreIdx * 517) % interval == interval - 1)
+            cycles.push_back(c);
+    }
+    return cycles;
+}
+
+} // namespace
+
+TEST(System, OsTickInjectionCyclesMatchStaggerFormula)
+{
+    // The countdown-counter implementation must inject on exactly the
+    // cycles the old per-cycle modulo selected, on both execution
+    // paths. 300 is deliberately not a divisor or multiple of the
+    // 256-cycle block so injections land mid-block.
+    constexpr Cycles kInterval = 300;
+    constexpr Cycles kRun = 5000;
+    constexpr std::size_t kCores = 4;
+
+    for (const bool blockedPath : {true, false}) {
+        SystemConfig cfg;
+        cfg.osTickInterval = kInterval;
+        cfg.enableBlockedExecution = blockedPath;
+        System sys(cfg);
+        std::vector<const InjectionRecorder *> recorders;
+        for (std::size_t i = 0; i < kCores; ++i) {
+            auto core = std::make_unique<InjectionRecorder>();
+            recorders.push_back(core.get());
+            sys.addCore(std::move(core));
+        }
+        EXPECT_EQ(sys.blockedExecutionActive(), blockedPath);
+        sys.run(kRun);
+        for (std::size_t i = 0; i < kCores; ++i) {
+            EXPECT_EQ(recorders[i]->injections(),
+                      expectedInjectionCycles(i, kInterval, kRun))
+                << "core " << i << " blocked=" << blockedPath;
+        }
+    }
+}

@@ -22,6 +22,9 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
 echo "== tier-2: golden-result regression (jobs=4 and jobs=1) =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L golden
 
+echo "== bench: batched tick pipeline throughput =="
+tools/bench.sh "${BUILD_DIR}" BENCH_pr3.json
+
 echo "== TSan smoke: parallel sweep engine =="
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
