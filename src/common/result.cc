@@ -1,6 +1,7 @@
 #include "result.hh"
 
 #include <cmath>
+#include <sstream>
 
 #include "logging.hh"
 
@@ -157,10 +158,27 @@ toleranceFor(std::string_view name, const Json *tolerances,
 bool
 withinTolerance(double golden, double actual, Tolerance tol)
 {
-    if (std::isnan(golden) || std::isnan(actual))
-        return std::isnan(golden) == std::isnan(actual);
+    // Non-finite values never pass: NaN-golden vs NaN-actual used to
+    // compare equal, which let a broken metric producer hide behind an
+    // equally broken golden. Callers detect non-finite inputs first
+    // and report them as named structural failures.
+    if (!std::isfinite(golden) || !std::isfinite(actual))
+        return false;
     return std::abs(actual - golden) <=
         tol.abs + tol.rel * std::abs(golden);
+}
+
+/** Non-empty diagnostic when either value is NaN/Inf. */
+std::string
+nonFiniteNote(double golden, double actual)
+{
+    if (std::isfinite(golden) && std::isfinite(actual))
+        return "";
+    std::ostringstream os;
+    os << "non-finite value (golden " << golden << ", actual " << actual
+       << "): NaN/Inf never passes; fix the producer or regenerate "
+          "the golden";
+    return os.str();
 }
 
 } // namespace
@@ -185,6 +203,11 @@ compareResults(const Result &golden, const Result &actual,
             continue;
         }
         const double av = actual.metricValue(name);
+        if (const std::string note = nonFiniteNote(gv, av);
+            !note.empty()) {
+            structural(name, note);
+            continue;
+        }
         if (!withinTolerance(gv, av,
                              toleranceFor(name, goldenTolerances,
                                           fallback))) {
@@ -225,10 +248,18 @@ compareResults(const Result &golden, const Result &actual,
         const Tolerance tol =
             toleranceFor(name, goldenTolerances, fallback);
         for (std::size_t i = 0; i < gvs.size(); ++i) {
+            const std::string elem = name + "[" + std::to_string(i) +
+                "]";
+            if (const std::string note =
+                    nonFiniteNote(gvs[i], (*avs)[i]);
+                !note.empty()) {
+                // One structural failure names the first bad element;
+                // a fully-NaN series should not flood the report.
+                structural(elem, note);
+                break;
+            }
             if (!withinTolerance(gvs[i], (*avs)[i], tol)) {
-                report.diffs.push_back(
-                    {name + "[" + std::to_string(i) + "]", gvs[i],
-                     (*avs)[i], ""});
+                report.diffs.push_back({elem, gvs[i], (*avs)[i], ""});
                 report.pass = false;
             }
         }

@@ -1,0 +1,651 @@
+#include "properties.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "common/histogram.hh"
+#include "common/parallel.hh"
+#include "common/result.hh"
+#include "cpu/fast_core.hh"
+#include "pdn/package_config.hh"
+#include "pdn/second_order.hh"
+#include "sim/calibration.hh"
+#include "sim/system.hh"
+#include "workload/spec_suite.hh"
+
+namespace vsmooth::simtest {
+
+namespace {
+
+pdn::PackageConfig
+toPackageConfig(const FuzzConfig &cfg)
+{
+    auto pkg = pdn::PackageConfig::core2duo().withDecapFraction(
+        cfg.decapFraction);
+    pkg.lPackage *= cfg.lScale;
+    pkg.rPackage *= cfg.rScale;
+    pkg.esrPackage *= cfg.rScale;
+    pkg.rippleFraction = cfg.rippleFraction;
+    return pkg;
+}
+
+sim::SystemConfig
+toSystemConfig(const FuzzConfig &cfg, bool forceScalar)
+{
+    sim::SystemConfig sys;
+    sys.package = toPackageConfig(cfg);
+    sys.osTickInterval = cfg.osTickInterval;
+    sys.enableTrace = cfg.enableTrace;
+    sys.traceCapacity = static_cast<std::size_t>(cfg.traceCapacity);
+    sys.enableTimeline = cfg.enableTimeline;
+    sys.timelineInterval = cfg.timelineInterval;
+    sys.splitSupplies = cfg.split;
+    sys.enableEmergencyPredictor = cfg.predictor;
+    sys.enableResonanceDamper = cfg.damper;
+    if (cfg.emergencyMargin > 0.0) {
+        sys.emergencyMargin = cfg.emergencyMargin;
+        sys.recoveryCostCycles = cfg.recoveryCost;
+    }
+    sys.enableBlockedExecution = !forceScalar;
+    return sys;
+}
+
+void
+addCores(sim::System &sys, const FuzzConfig &cfg)
+{
+    const auto &suite = workload::specCpu2006();
+    for (std::size_t i = 0; i < cfg.cores.size(); ++i) {
+        workload::SpecBenchmark bench = suite[cfg.cores[i].bench];
+        if (cfg.cores[i].flat) {
+            bench.pattern = workload::PhasePattern::Flat;
+            bench.stepMultipliers.clear();
+        }
+        sys.addCore(std::make_unique<cpu::FastCore>(
+            workload::scheduleFor(bench, cfg.baseLength, cfg.loop),
+            cfg.seed + i * 7919 + 1));
+    }
+}
+
+std::string
+num(double v)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+/** First index at which two vectors differ; npos when identical. */
+template <typename T>
+std::size_t
+firstMismatch(const std::vector<T> &a, const std::vector<T> &b)
+{
+    if (a.size() != b.size())
+        return std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (!(a[i] == b[i]))
+            return i;
+    return std::string::npos;
+}
+
+template <typename T>
+bool
+describeVector(const char *what, const std::vector<T> &a,
+               const std::vector<T> &b, std::string &out)
+{
+    if (a == b)
+        return false;
+    std::ostringstream os;
+    if (a.size() != b.size()) {
+        os << what << " length " << a.size() << " != " << b.size();
+    } else {
+        const std::size_t i = firstMismatch(a, b);
+        os << what << "[" << i << "] " << num(static_cast<double>(a[i]))
+           << " != " << num(static_cast<double>(b[i]));
+    }
+    out = os.str();
+    return true;
+}
+
+} // namespace
+
+RunSummary
+summarizeRun(const FuzzConfig &cfg, bool forceScalar)
+{
+    sim::System sys(toSystemConfig(cfg, forceScalar));
+    addCores(sys, cfg);
+    if (cfg.loop)
+        sys.run(cfg.cycles);
+    else
+        sys.runUntilFinished(cfg.cycles);
+
+    RunSummary s;
+    s.cycles = sys.cycles();
+    s.dieVoltage = sys.dieVoltage();
+    s.deviation = sys.deviation();
+    s.totalCurrent = sys.totalCurrent();
+    s.emergencies = sys.emergencies();
+
+    const Histogram &h = sys.scope().histogram();
+    s.histTotal = h.totalCount();
+    s.histUnderflow = h.underflowCount();
+    s.histOverflow = h.overflowCount();
+    s.histMin = h.minSample();
+    s.histMax = h.maxSample();
+    s.histBins.reserve(h.numBins());
+    for (std::size_t i = 0; i < h.numBins(); ++i)
+        s.histBins.push_back(h.binCount(i));
+
+    const auto &bank = sys.droopBank();
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+        s.bankEvents.push_back(bank.detector(i).eventCount());
+        s.bankDeepest.push_back(bank.detector(i).deepestEvent());
+    }
+
+    for (std::size_t i = 0; i < sys.numCores(); ++i) {
+        const auto &ctr = sys.core(i).counters();
+        s.coreInstructions.push_back(ctr.instructions());
+        for (std::size_t c = 0; c < cpu::PerfCounters::kNumCauses; ++c) {
+            s.coreStallCycles.push_back(
+                ctr.stallCycles(static_cast<cpu::StallCause>(c)));
+        }
+    }
+
+    if (cfg.enableTimeline)
+        s.timeline = sys.timelineSeries();
+    if (cfg.enableTrace) {
+        for (const auto &t : sys.trace().chronological()) {
+            s.traceSamples.push_back(static_cast<double>(t.cycle));
+            s.traceSamples.push_back(t.deviation);
+            s.traceSamples.push_back(t.currentAmps);
+        }
+    }
+    return s;
+}
+
+std::string
+firstDifference(const RunSummary &a, const RunSummary &b)
+{
+    std::string out;
+    if (a.cycles != b.cycles)
+        return "cycles " + std::to_string(a.cycles) + " != " +
+            std::to_string(b.cycles);
+    if (a.dieVoltage != b.dieVoltage)
+        return "dieVoltage " + num(a.dieVoltage) + " != " +
+            num(b.dieVoltage);
+    if (a.deviation != b.deviation)
+        return "deviation " + num(a.deviation) + " != " +
+            num(b.deviation);
+    if (a.totalCurrent != b.totalCurrent)
+        return "totalCurrent " + num(a.totalCurrent) + " != " +
+            num(b.totalCurrent);
+    if (a.emergencies != b.emergencies)
+        return "emergencies " + std::to_string(a.emergencies) + " != " +
+            std::to_string(b.emergencies);
+    if (a.histTotal != b.histTotal)
+        return "histogram total " + std::to_string(a.histTotal) +
+            " != " + std::to_string(b.histTotal);
+    if (a.histUnderflow != b.histUnderflow ||
+        a.histOverflow != b.histOverflow) {
+        return "histogram under/overflow counts differ";
+    }
+    if (a.histMin != b.histMin || a.histMax != b.histMax)
+        return "histogram min/max " + num(a.histMin) + "/" +
+            num(a.histMax) + " != " + num(b.histMin) + "/" +
+            num(b.histMax);
+    if (describeVector("histogram bin", a.histBins, b.histBins, out))
+        return out;
+    if (describeVector("droop events", a.bankEvents, b.bankEvents, out))
+        return out;
+    if (describeVector("deepest event", a.bankDeepest, b.bankDeepest,
+                       out))
+        return out;
+    if (describeVector("instructions", a.coreInstructions,
+                       b.coreInstructions, out))
+        return out;
+    if (describeVector("stall cycles", a.coreStallCycles,
+                       b.coreStallCycles, out))
+        return out;
+    if (describeVector("timeline", a.timeline, b.timeline, out))
+        return out;
+    if (describeVector("trace sample", a.traceSamples, b.traceSamples,
+                       out))
+        return out;
+    return "";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// blocked_vs_scalar
+// ---------------------------------------------------------------------
+
+bool
+checkBlockedVsScalar(const FuzzConfig &cfg, std::string *why)
+{
+    const RunSummary blocked = summarizeRun(cfg, false);
+    const RunSummary scalar = summarizeRun(cfg, true);
+    const std::string diff = firstDifference(blocked, scalar);
+    if (diff.empty())
+        return true;
+    if (why)
+        *why = "blocked != scalar: " + diff;
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// run_twice_determinism
+// ---------------------------------------------------------------------
+
+bool
+checkRunTwiceDeterminism(const FuzzConfig &cfg, std::string *why)
+{
+    const RunSummary first = summarizeRun(cfg, false);
+    const RunSummary second = summarizeRun(cfg, false);
+    const std::string diff = firstDifference(first, second);
+    if (diff.empty())
+        return true;
+    if (why)
+        *why = "same seed, different run: " + diff;
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// parallel_vs_serial
+// ---------------------------------------------------------------------
+
+/** Restore the job-count override on scope exit. */
+struct JobsGuard
+{
+    ~JobsGuard() { setJobs(0); }
+};
+
+bool
+checkParallelVsSerial(const FuzzConfig &cfg, std::string *why)
+{
+    // A miniature population sweep: K independent runs derived from
+    // the config by seed offset, executed through parallelMap with
+    // cfg.jobs workers and again serially. The engine's determinism
+    // contract says the two result vectors are bit-identical.
+    constexpr std::size_t kRuns = 3;
+    auto subConfig = [&](std::size_t i) {
+        FuzzConfig c = cfg;
+        c.seed = cfg.seed + 1000 + i * 131;
+        c.cycles = std::min<Cycles>(cfg.cycles, 8'000);
+        return c;
+    };
+    JobsGuard guard;
+    setJobs(static_cast<std::size_t>(cfg.jobs));
+    const auto parallel = parallelMap<RunSummary>(
+        kRuns,
+        [&](std::size_t i) { return summarizeRun(subConfig(i), false); });
+    setJobs(1);
+    const auto serial = parallelMap<RunSummary>(
+        kRuns,
+        [&](std::size_t i) { return summarizeRun(subConfig(i), false); });
+    for (std::size_t i = 0; i < kRuns; ++i) {
+        const std::string diff = firstDifference(parallel[i], serial[i]);
+        if (!diff.empty()) {
+            if (why) {
+                *why = "jobs=" + std::to_string(cfg.jobs) +
+                    " != jobs=1 at sweep index " + std::to_string(i) +
+                    ": " + diff;
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// pdn_linearity
+// ---------------------------------------------------------------------
+
+/** Transient die-voltage response to a load waveform, from the
+ *  zero-load DC operating point, ripple off. */
+std::vector<double>
+pdnResponse(const pdn::SecondOrderParams &params,
+            const std::vector<double> &load)
+{
+    pdn::SecondOrderPdn pdn(params, sim::clockPeriod());
+    pdn.reset(0.0);
+    std::vector<double> v(load.size());
+    for (std::size_t i = 0; i < load.size(); ++i)
+        v[i] = pdn.step(load[i]);
+    return v;
+}
+
+bool
+checkPdnLinearity(const FuzzConfig &cfg, std::string *why)
+{
+    const auto params = pdn::secondOrderEquivalent(toPackageConfig(cfg));
+    const double vdd = params.vdd.value();
+    Rng rng(cfg.seed ^ 0x70646e6cULL); // "pdnl"
+
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+
+    // Random piecewise-constant stimuli (10-100-cycle segments, up to
+    // ~30 A — the scale of a few cores' di/dt events).
+    constexpr std::size_t kSteps = 2'000;
+    auto stimulus = [&]() {
+        std::vector<double> u(kSteps);
+        std::size_t i = 0;
+        while (i < kSteps) {
+            const std::size_t len = static_cast<std::size_t>(
+                rng.uniformInt(10, 100));
+            const double amps = rng.uniform(0.0, 30.0);
+            for (std::size_t k = 0; k < len && i < kSteps; ++k, ++i)
+                u[i] = amps;
+        }
+        return u;
+    };
+
+    const auto u1 = stimulus();
+    const auto u2 = stimulus();
+    std::vector<double> u12(kSteps);
+    std::vector<double> u1x2(kSteps);
+    for (std::size_t i = 0; i < kSteps; ++i) {
+        u12[i] = u1[i] + u2[i];
+        u1x2[i] = 2.0 * u1[i];
+    }
+
+    const auto y1 = pdnResponse(params, u1);
+    const auto y2 = pdnResponse(params, u2);
+    const auto y12 = pdnResponse(params, u12);
+    const auto y1x2 = pdnResponse(params, u1x2);
+
+    // Superposition: with the zero-load response identically vdd,
+    // y(u1+u2) - vdd == (y(u1) - vdd) + (y(u2) - vdd) up to bounded
+    // floating-point drift of the stable recurrence.
+    constexpr double kTol = 1e-8;
+    for (std::size_t i = 0; i < kSteps; ++i) {
+        const double lhs = y12[i] - vdd;
+        const double rhs = (y1[i] - vdd) + (y2[i] - vdd);
+        if (std::abs(lhs - rhs) > kTol) {
+            return fail("superposition violated at step " +
+                        std::to_string(i) + ": " + num(lhs) + " vs " +
+                        num(rhs));
+        }
+        const double sl = y1x2[i] - vdd;
+        const double sr = 2.0 * (y1[i] - vdd);
+        if (std::abs(sl - sr) > kTol) {
+            return fail("scaling violated at step " +
+                        std::to_string(i) + ": " + num(sl) + " vs " +
+                        num(sr));
+        }
+    }
+
+    // DC gain: the trapezoidal update's fixed point matches the
+    // continuous DC solution exactly — droop == rSeries * I.
+    const double amps = rng.uniform(1.0, 40.0);
+    pdn::SecondOrderPdn pdn(params, sim::clockPeriod());
+    pdn.reset(0.0);
+    constexpr std::size_t kSettle = 6'000;
+    double peak = 0.0;
+    for (std::size_t i = 0; i < kSettle; ++i) {
+        const double v = pdn.step(amps);
+        peak = std::max(peak, vdd - v);
+    }
+    const double dcDroop = vdd - pdn.voltage();
+    const double expected = params.rSeries.value() * amps;
+    if (std::abs(dcDroop - expected) > 1e-9 + 1e-9 * expected) {
+        return fail("DC gain: droop " + num(dcDroop) + " != R*I " +
+                    num(expected));
+    }
+
+    // Step-response bound: a second-order tank driven by a current
+    // step cannot droop deeper than the resistive drop plus one
+    // characteristic-impedance swing (I * (Rs + Rd + sqrt(L/C))),
+    // with headroom for the discrete-time peak.
+    const double zc =
+        std::sqrt(params.l.value() / params.c.value());
+    const double bound = amps *
+        (params.rSeries.value() + params.rDamp.value() + zc) * 1.2;
+    if (peak > bound) {
+        return fail("step-response peak droop " + num(peak) +
+                    " exceeds second-order bound " + num(bound));
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// histogram_invariants
+// ---------------------------------------------------------------------
+
+std::string
+histDifference(const Histogram &a, const Histogram &b)
+{
+    if (a.totalCount() != b.totalCount())
+        return "total " + std::to_string(a.totalCount()) + " != " +
+            std::to_string(b.totalCount());
+    if (a.underflowCount() != b.underflowCount())
+        return "underflow differs";
+    if (a.overflowCount() != b.overflowCount())
+        return "overflow differs";
+    if (a.totalCount() > 0 &&
+        (a.minSample() != b.minSample() ||
+         a.maxSample() != b.maxSample())) {
+        return "min/max differ";
+    }
+    for (std::size_t i = 0; i < a.numBins(); ++i) {
+        if (a.binCount(i) != b.binCount(i))
+            return "bin " + std::to_string(i) + " differs";
+    }
+    return "";
+}
+
+bool
+checkHistogramInvariants(const FuzzConfig &cfg, std::string *why)
+{
+    Rng rng(cfg.seed ^ 0x68697374ULL); // "hist"
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+
+    const double lo = rng.uniform(-0.3, 0.0);
+    const double hi = lo + rng.uniform(0.01, 0.5);
+    const std::size_t bins =
+        static_cast<std::size_t>(rng.uniformInt(1, 64));
+
+    // Three sample sets mixing in-range bulk, out-of-range tails, and
+    // exact-edge values (lo itself, and just under hi).
+    auto drawSamples = [&]() {
+        std::vector<double> xs(
+            static_cast<std::size_t>(rng.uniformInt(0, 300)));
+        for (double &x : xs) {
+            const double p = rng.uniform();
+            if (p < 0.75)
+                x = rng.uniform(lo, hi);
+            else if (p < 0.85)
+                x = rng.uniform(lo - 0.5, hi + 0.5);
+            else if (p < 0.95)
+                x = lo;
+            else
+                x = std::nextafter(hi, lo);
+        }
+        return xs;
+    };
+    const auto s1 = drawSamples();
+    const auto s2 = drawSamples();
+    const auto s3 = drawSamples();
+
+    auto fill = [&](const std::vector<double> &xs) {
+        Histogram h(lo, hi, bins);
+        for (double x : xs)
+            h.add(x);
+        return h;
+    };
+    const Histogram h1 = fill(s1);
+    const Histogram h2 = fill(s2);
+    const Histogram h3 = fill(s3);
+
+    // Mass conservation: every sample is counted exactly once.
+    std::uint64_t binned = 0;
+    for (std::size_t i = 0; i < h1.numBins(); ++i)
+        binned += h1.binCount(i);
+    if (h1.totalCount() != s1.size() ||
+        binned + h1.underflowCount() + h1.overflowCount() !=
+            h1.totalCount()) {
+        return fail("histogram mass not conserved: " +
+                    std::to_string(binned) + " binned + " +
+                    std::to_string(h1.underflowCount()) + " under + " +
+                    std::to_string(h1.overflowCount()) + " over != " +
+                    std::to_string(h1.totalCount()));
+    }
+
+    // Block feed == scalar feed.
+    Histogram hb(lo, hi, bins);
+    hb.addBlock(s1.data(), s1.size());
+    if (const auto d = histDifference(h1, hb); !d.empty())
+        return fail("addBlock != add: " + d);
+
+    // Quantile extremes are the exact tracked samples.
+    if (h1.totalCount() > 0) {
+        if (h1.quantile(0.0) != h1.minSample() ||
+            h1.quantile(1.0) != h1.maxSample()) {
+            return fail("quantile(0)/quantile(1) are not the exact "
+                        "min/max samples");
+        }
+    }
+
+    auto merged = [&](const Histogram &a, const Histogram &b) {
+        Histogram m = a;
+        m.merge(b);
+        return m;
+    };
+
+    // Commutativity.
+    if (const auto d =
+            histDifference(merged(h1, h2), merged(h2, h1));
+        !d.empty()) {
+        return fail("merge not commutative: " + d);
+    }
+    // Associativity.
+    if (const auto d = histDifference(merged(merged(h1, h2), h3),
+                                      merged(h1, merged(h2, h3)));
+        !d.empty()) {
+        return fail("merge not associative: " + d);
+    }
+    // Merge == concatenation.
+    std::vector<double> concat = s1;
+    concat.insert(concat.end(), s2.begin(), s2.end());
+    if (const auto d = histDifference(merged(h1, h2), fill(concat));
+        !d.empty()) {
+        return fail("merge != concatenated samples: " + d);
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// result_roundtrip
+// ---------------------------------------------------------------------
+
+bool
+checkResultRoundtrip(const FuzzConfig &cfg, std::string *why)
+{
+    Rng rng(cfg.seed ^ 0x726a736eULL); // "rjsn"
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+
+    // Values chosen to stress the %.17g round-trip: signed zeros,
+    // non-terminating binary fractions, denormal-adjacent and huge
+    // magnitudes, plus uniform draws.
+    static const double kAwkward[] = {0.0,     -0.0,   1.0 / 3.0,
+                                      1.1e-308, 1e308, -9.87654321e300,
+                                      6.02214076e23};
+    auto value = [&]() {
+        if (rng.bernoulli(0.4)) {
+            return kAwkward[rng.uniformInt(
+                0, std::size(kAwkward) - 1)];
+        }
+        return rng.uniform(-1e6, 1e6);
+    };
+
+    Result r("fuzz_" + std::to_string(cfg.seed));
+    r.setSeed(cfg.seed);
+    r.setJobs(cfg.jobs);
+    const std::size_t nMetrics = rng.uniformInt(0, 12);
+    for (std::size_t i = 0; i < nMetrics; ++i)
+        r.metric("metric_" + std::to_string(i), value());
+    const std::size_t nSeries = rng.uniformInt(0, 4);
+    for (std::size_t i = 0; i < nSeries; ++i) {
+        std::vector<double> vs(rng.uniformInt(0, 16));
+        for (double &v : vs)
+            v = value();
+        r.series("series_" + std::to_string(i), std::move(vs));
+    }
+
+    const std::string text = r.toJson().dump(2);
+    std::string error;
+    const Json parsed = Json::parse(text, &error);
+    if (!error.empty())
+        return fail("emitted JSON does not parse: " + error);
+    Result back;
+    if (!Result::fromJson(parsed, back, &error))
+        return fail("emitted JSON does not load as Result: " + error);
+    const std::string text2 = back.toJson().dump(2);
+    if (text != text2) {
+        return fail("Result JSON round-trip not lossless (re-dump "
+                    "differs)");
+    }
+    const auto report = compareResults(r, back, nullptr,
+                                       Tolerance{0.0, 0.0});
+    if (!report.pass) {
+        return fail("round-tripped Result fails zero-tolerance "
+                    "comparison at '" +
+                    report.diffs.front().name + "'");
+    }
+    return true;
+}
+
+} // namespace
+
+const std::vector<Property> &
+propertyRegistry()
+{
+    static const std::vector<Property> registry = {
+        {"blocked_vs_scalar",
+         "batched tick pipeline bit-identical to per-cycle execution",
+         &checkBlockedVsScalar},
+        {"run_twice_determinism",
+         "same seed reproduces every observable exactly",
+         &checkRunTwiceDeterminism},
+        {"parallel_vs_serial",
+         "parallelMap sweep bit-identical for any job count",
+         &checkParallelVsSerial},
+        {"pdn_linearity",
+         "PDN superposition/scaling, exact DC gain, bounded step "
+         "response",
+         &checkPdnLinearity},
+        {"histogram_invariants",
+         "mass conservation, block==scalar feed, merge "
+         "commutativity/associativity",
+         &checkHistogramInvariants},
+        {"result_roundtrip",
+         "Result -> JSON -> Result is lossless",
+         &checkResultRoundtrip},
+    };
+    return registry;
+}
+
+const Property *
+findProperty(std::string_view name)
+{
+    for (const Property &p : propertyRegistry())
+        if (name == p.name)
+            return &p;
+    return nullptr;
+}
+
+} // namespace vsmooth::simtest

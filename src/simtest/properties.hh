@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Executable invariants checked against randomized configurations.
+ *
+ * Each Property is a named predicate over a FuzzConfig: it builds
+ * whatever simulator state the config describes, runs it, and checks
+ * an invariant the codebase promises unconditionally —
+ *
+ *   - blocked_vs_scalar: the batched tick pipeline is bit-identical
+ *     to the per-cycle path at arbitrary block/phase/OS-tick/trace
+ *     boundaries (not just the 256-aligned ones unit tests pin);
+ *   - run_twice_determinism: the same seed reproduces every
+ *     observable exactly;
+ *   - parallel_vs_serial: a parallelMap sweep is bit-identical for
+ *     any worker-thread count;
+ *   - pdn_linearity: the second-order PDN is LTI — superposition and
+ *     scaling of current stimuli, exact DC gain R·I, and a step
+ *     response inside analytic second-order bounds;
+ *   - histogram_invariants: mass conservation, block/scalar feed
+ *     identity, merge commutativity/associativity, and
+ *     concatenation == merge;
+ *   - result_roundtrip: Result -> JSON -> Result is lossless.
+ *
+ * On failure, check() returns false and fills *why with the first
+ * divergent observable. The fuzz driver shrinks the config and writes
+ * a replayable repro.
+ */
+
+#ifndef VSMOOTH_SIMTEST_PROPERTIES_HH
+#define VSMOOTH_SIMTEST_PROPERTIES_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simtest/gen.hh"
+
+namespace vsmooth::simtest {
+
+/** One registered invariant. */
+struct Property
+{
+    const char *name;
+    const char *summary;
+    bool (*check)(const FuzzConfig &cfg, std::string *why);
+};
+
+/** All registered properties, in stable registry order. */
+const std::vector<Property> &propertyRegistry();
+
+/** Look up a property by name; nullptr if unknown. */
+const Property *findProperty(std::string_view name);
+
+/**
+ * Every observable of one System run, captured for exact comparison
+ * (the currency of the differential properties). All counts and
+ * doubles are compared bitwise — the simulator's reproducibility
+ * guarantees are bit-level, never "close enough".
+ */
+struct RunSummary
+{
+    Cycles cycles = 0;
+    double dieVoltage = 0.0;
+    double deviation = 0.0;
+    double totalCurrent = 0.0;
+    std::uint64_t emergencies = 0;
+    std::uint64_t histTotal = 0;
+    std::uint64_t histUnderflow = 0;
+    std::uint64_t histOverflow = 0;
+    double histMin = 0.0;
+    double histMax = 0.0;
+    std::vector<std::uint64_t> histBins;
+    std::vector<std::uint64_t> bankEvents;
+    std::vector<double> bankDeepest;
+    std::vector<std::uint64_t> coreInstructions;
+    std::vector<std::uint64_t> coreStallCycles;
+    std::vector<double> timeline;
+    std::vector<double> traceSamples;
+
+    bool operator==(const RunSummary &) const = default;
+};
+
+/**
+ * Build the System a FuzzConfig describes, run it, and summarize.
+ * forceScalar disables the blocked fast path (the scalar reference
+ * side of the differential).
+ */
+RunSummary summarizeRun(const FuzzConfig &cfg, bool forceScalar);
+
+/** Human-readable first difference between two summaries; empty when
+ *  identical. */
+std::string firstDifference(const RunSummary &a, const RunSummary &b);
+
+} // namespace vsmooth::simtest
+
+#endif // VSMOOTH_SIMTEST_PROPERTIES_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Failure minimization for property-based fuzzing.
+ *
+ * When a property fails on a generated config, the raw draw is a poor
+ * bug report: four cores, an odd trace period, a scaled PDN, and 50k
+ * cycles of runtime obscure which ingredient matters. The shrinker
+ * greedily applies semantic reductions — halve the run, drop cores,
+ * flatten phase schedules, disable instrumentation, neutralize the
+ * PDN scaling — keeping a reduction only if the property *still
+ * fails*, until no reduction applies. The result is written as a
+ * replayable JSON repro (default-valued fields omitted, so minimal
+ * repros are a handful of lines) for `vsmooth fuzz --repro`.
+ */
+
+#ifndef VSMOOTH_SIMTEST_SHRINK_HH
+#define VSMOOTH_SIMTEST_SHRINK_HH
+
+#include <cstddef>
+#include <string>
+
+#include "simtest/gen.hh"
+#include "simtest/properties.hh"
+
+namespace vsmooth::simtest {
+
+/** Result of minimizing a failing config. */
+struct ShrinkOutcome
+{
+    /** The minimized config (still fails the property). */
+    FuzzConfig config;
+    /** Property re-checks performed. */
+    std::size_t attempts = 0;
+    /** Reductions that kept the failure and were accepted. */
+    std::size_t accepted = 0;
+};
+
+/**
+ * Minimize `failing` against `property` (which must currently fail
+ * on it). Deterministic: the reduction order is fixed, so the same
+ * failure always shrinks to the same repro.
+ */
+ShrinkOutcome shrinkConfig(const FuzzConfig &failing,
+                           const Property &property,
+                           std::size_t maxAttempts = 400);
+
+/** The replayable repro document: the config (defaults omitted) plus
+ *  the failing property's name. */
+Json reproJson(const FuzzConfig &cfg, const std::string &propertyName);
+
+} // namespace vsmooth::simtest
+
+#endif // VSMOOTH_SIMTEST_SHRINK_HH

@@ -13,6 +13,18 @@
  *   vsmooth impedance [--decap F]
  *   vsmooth reset-droop [--decap F]
  *   vsmooth verify [options]
+ *   vsmooth fuzz [options]
+ *
+ * Options for `fuzz` (property-based differential testing):
+ *   --seed S         generation seed (default 1)
+ *   --iters N        configs to generate and check (default 1000)
+ *   --properties L   comma-separated property names (default: all)
+ *   --repro FILE     replay one repro file instead of generating
+ *   --corpus DIR     replay every *.json repro in DIR
+ *   --repro-out F    where a newly shrunk repro is written
+ *   --summary FILE   write a deterministic per-property JSON summary
+ *   --list           print the property registry and exit
+ *   --verbose        per-property progress output
  *
  * Options for `verify` (golden-result regression checking):
  *   --bench-dir D    directory of experiment binaries (build/bench)
@@ -60,6 +72,7 @@
 #include "pdn/ladder.hh"
 #include "resilience/perf_model.hh"
 #include "sim/system.hh"
+#include "simtest/fuzz.hh"
 #include "verify.hh"
 #include "workload/microbench.hh"
 #include "workload/parsec.hh"
@@ -79,12 +92,17 @@ usage()
            "  vsmooth impedance [--decap F]\n"
            "  vsmooth reset-droop [--decap F]\n"
            "  vsmooth verify [options]\n"
+           "  vsmooth fuzz [options]\n"
            "run options: --decap F --cycles N --margin M --recovery N\n"
            "             --predictor --damper --split --trace FILE"
            " --seed S\n"
            "verify options: --bench-dir D --golden-dir D"
            " --experiments a,b,c\n"
            "                --all --update --list --verbose\n"
+           "fuzz options: --seed S --iters N --properties a,b,c"
+           " --repro FILE\n"
+           "              --corpus DIR --repro-out F --summary FILE"
+           " --list --verbose\n"
            "global options: --jobs N (worker threads for sweeps;"
            " 1 = serial)\n";
     std::exit(2);
@@ -325,6 +343,59 @@ cmdVerify(int argc, char **argv)
     return tools::runVerify(opt);
 }
 
+int
+cmdFuzz(int argc, char **argv)
+{
+    simtest::FuzzOptions opt;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--seed") {
+            opt.seed = parseU64(next(), "--seed");
+        } else if (arg == "--iters") {
+            opt.iters = parseU64(next(), "--iters");
+        } else if (arg == "--properties") {
+            std::string list = next();
+            std::size_t start = 0;
+            while (start <= list.size()) {
+                const std::size_t comma = list.find(',', start);
+                const std::string name = list.substr(
+                    start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+                if (!name.empty())
+                    opt.properties.push_back(name);
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+        } else if (arg == "--repro") {
+            opt.reproFile = next();
+        } else if (arg == "--corpus") {
+            opt.corpusDir = next();
+        } else if (arg == "--repro-out") {
+            opt.reproOut = next();
+        } else if (arg == "--summary") {
+            opt.summaryFile = next();
+        } else if (arg == "--list") {
+            opt.listProperties = true;
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+        } else if (arg == "--jobs") {
+            const std::uint64_t v = parseU64(next(), "--jobs");
+            if (v < 1)
+                fatal("--jobs needs a positive thread count");
+            setJobs(static_cast<std::size_t>(v));
+        } else {
+            usage();
+        }
+    }
+    return simtest::runFuzz(opt);
+}
+
 } // namespace
 
 int
@@ -338,6 +409,8 @@ main(int argc, char **argv)
         return cmdList();
     if (cmd == "verify")
         return cmdVerify(argc, argv);
+    if (cmd == "fuzz")
+        return cmdFuzz(argc, argv);
 
     double decap = 1.0;
     RunOptions opt;

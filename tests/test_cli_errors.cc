@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Error-path tests for the vsmooth CLI: every user mistake (missing
+ * directories, malformed JSON, unknown experiment or property names,
+ * bad flag values) must exit nonzero with an actionable message, not
+ * crash or silently pass.
+ *
+ * Tests run the real binary (path injected via VSMOOTH_CLI_PATH at
+ * compile time) through popen and assert on exit status + combined
+ * stdout/stderr.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct CliResult
+{
+    int exitCode = -1;
+    std::string output; // stdout + stderr interleaved
+};
+
+CliResult
+runCli(const std::string &args)
+{
+    const std::string cmd =
+        std::string(VSMOOTH_CLI_PATH) + " " + args + " 2>&1";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr) << cmd;
+    CliResult r;
+    std::array<char, 4096> buf;
+    while (pipe && fgets(buf.data(), buf.size(), pipe))
+        r.output += buf.data();
+    if (pipe) {
+        const int status = pclose(pipe);
+        r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+    return r;
+}
+
+/** Fresh scratch directory under the test tmp dir. */
+fs::path
+scratchDir(const std::string &name)
+{
+    const fs::path dir = fs::path(::testing::TempDir()) /
+        ("vsmooth_cli_errors_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+/** Create an executable fake experiment "binary" that emits a minimal
+ *  valid Result to $VSMOOTH_RESULT_FILE. */
+void
+writeFakeExperiment(const fs::path &benchDir, const std::string &name)
+{
+    const fs::path script = benchDir / name;
+    {
+        std::ofstream os(script);
+        os << "#!/bin/sh\n"
+           << "printf '{\"experiment\": \"" << name
+           << "\", \"metrics\": {\"m\": 1}}' > \"$VSMOOTH_RESULT_FILE\"\n";
+    }
+    fs::permissions(script, fs::perms::owner_all);
+}
+
+} // namespace
+
+TEST(CliErrors, NoArgumentsPrintsUsage)
+{
+    const auto r = runCli("");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_NE(r.output.find("usage"), std::string::npos);
+}
+
+TEST(CliErrors, VerifyUnknownExperiment)
+{
+    const auto r = runCli("verify --experiments not_an_experiment");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("unknown experiment"), std::string::npos);
+    // The message points at the discovery command.
+    EXPECT_NE(r.output.find("--list"), std::string::npos);
+}
+
+TEST(CliErrors, VerifyMissingBenchBinary)
+{
+    const auto bench = scratchDir("verify_nobin_bench");
+    const auto golden = scratchDir("verify_nobin_golden");
+    const auto r = runCli("verify --bench-dir " + bench.string() +
+                          " --golden-dir " + golden.string() +
+                          " --experiments fig01_future_swings");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("missing binary"), std::string::npos);
+    EXPECT_NE(r.output.find("build the bench targets"),
+              std::string::npos);
+}
+
+TEST(CliErrors, VerifyMissingGolden)
+{
+    const auto bench = scratchDir("verify_nogold_bench");
+    const auto golden = scratchDir("verify_nogold_golden");
+    writeFakeExperiment(bench, "fig01_future_swings");
+    const auto r = runCli("verify --bench-dir " + bench.string() +
+                          " --golden-dir " + golden.string() +
+                          " --experiments fig01_future_swings");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("missing/bad golden"), std::string::npos);
+    // ... and how to fix it.
+    EXPECT_NE(r.output.find("--update"), std::string::npos);
+}
+
+TEST(CliErrors, VerifyMalformedGoldenJson)
+{
+    const auto bench = scratchDir("verify_badgold_bench");
+    const auto golden = scratchDir("verify_badgold_golden");
+    writeFakeExperiment(bench, "fig01_future_swings");
+    std::ofstream(golden / "fig01_future_swings.json")
+        << "{\"experiment\": \"fig01_future_swings\", oops";
+    const auto r = runCli("verify --bench-dir " + bench.string() +
+                          " --golden-dir " + golden.string() +
+                          " --experiments fig01_future_swings");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("FAIL"), std::string::npos);
+    EXPECT_NE(r.output.find("fig01_future_swings.json"),
+              std::string::npos);
+}
+
+TEST(CliErrors, FuzzUnknownProperty)
+{
+    const auto r = runCli("fuzz --iters 1 --properties not_a_property");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("unknown property"), std::string::npos);
+    // The actionable part: the known names are listed.
+    EXPECT_NE(r.output.find("blocked_vs_scalar"), std::string::npos);
+}
+
+TEST(CliErrors, FuzzMissingCorpusDir)
+{
+    const auto r =
+        runCli("fuzz --corpus /nonexistent/vsmooth-corpus-dir");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("does not exist"), std::string::npos);
+}
+
+TEST(CliErrors, FuzzEmptyCorpusDir)
+{
+    const auto dir = scratchDir("fuzz_empty_corpus");
+    const auto r = runCli("fuzz --corpus " + dir.string());
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("no .json"), std::string::npos);
+}
+
+TEST(CliErrors, FuzzMissingReproFile)
+{
+    const auto r = runCli("fuzz --repro /nonexistent/repro.json");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("cannot open repro"), std::string::npos);
+}
+
+TEST(CliErrors, FuzzMalformedReproJson)
+{
+    const auto dir = scratchDir("fuzz_bad_repro");
+    const fs::path repro = dir / "repro.json";
+    std::ofstream(repro) << "{oops";
+    const auto r = runCli("fuzz --repro " + repro.string());
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("not valid JSON"), std::string::npos);
+}
+
+TEST(CliErrors, FuzzInvalidReproConfig)
+{
+    const auto dir = scratchDir("fuzz_invalid_repro");
+    const fs::path repro = dir / "repro.json";
+    std::ofstream(repro) << "{\"cycles\": 0}";
+    const auto r = runCli("fuzz --repro " + repro.string());
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("not a valid fuzz config"),
+              std::string::npos);
+}
+
+TEST(CliErrors, FuzzBadFlagValue)
+{
+    const auto r = runCli("fuzz --iters not_a_number");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("bad value"), std::string::npos);
+
+    const auto r2 = runCli("fuzz --no-such-flag");
+    EXPECT_EQ(r2.exitCode, 2);
+    EXPECT_NE(r2.output.find("usage"), std::string::npos);
+}

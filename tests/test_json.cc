@@ -220,3 +220,65 @@ TEST(Result, CompareChecksSeriesElementwise)
     ASSERT_EQ(report.diffs.size(), 1u);
     EXPECT_EQ(report.diffs[0].name, "s[1]");
 }
+
+TEST(Result, CompareRejectsNanEvenWhenBothSidesAreNan)
+{
+    // NaN-vs-NaN used to compare equal, hiding a broken producer
+    // behind an equally broken golden. It must now fail loudly, as a
+    // named structural diff with a diagnostic note.
+    const double nan = std::nan("");
+    Result golden("exp");
+    golden.metric("droop", nan);
+    Result actual("exp");
+    actual.metric("droop", nan);
+
+    const auto report = compareResults(golden, actual);
+    EXPECT_FALSE(report.pass);
+    ASSERT_EQ(report.diffs.size(), 1u);
+    EXPECT_EQ(report.diffs[0].name, "droop");
+    EXPECT_NE(report.diffs[0].note.find("non-finite"),
+              std::string::npos);
+}
+
+TEST(Result, CompareRejectsNonFiniteMetricsOnEitherSide)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    Result golden("exp");
+    golden.metric("a", 1.0);
+    golden.metric("b", inf);
+    Result actual("exp");
+    actual.metric("a", std::nan(""));
+    actual.metric("b", inf); // Inf == Inf must not pass either
+
+    const auto report = compareResults(golden, actual);
+    EXPECT_FALSE(report.pass);
+    ASSERT_EQ(report.diffs.size(), 2u);
+    for (const auto &d : report.diffs)
+        EXPECT_NE(d.note.find("non-finite"), std::string::npos) << d.name;
+}
+
+TEST(Result, CompareReportsFirstNonFiniteSeriesElementOnly)
+{
+    // A fully-NaN series reports one named structural failure, not one
+    // diff per element.
+    const double nan = std::nan("");
+    Result golden("exp");
+    golden.series("s", {1.0, nan, nan, nan});
+    Result actual = golden;
+
+    const auto report = compareResults(golden, actual);
+    EXPECT_FALSE(report.pass);
+    ASSERT_EQ(report.diffs.size(), 1u);
+    EXPECT_EQ(report.diffs[0].name, "s[1]");
+    EXPECT_NE(report.diffs[0].note.find("non-finite"),
+              std::string::npos);
+}
+
+TEST(Result, CompareStillPassesFiniteValuesAfterHardening)
+{
+    Result golden("exp");
+    golden.metric("a", 1.0);
+    golden.series("s", {0.0, -0.5, 1e308});
+    Result actual = golden;
+    EXPECT_TRUE(compareResults(golden, actual).pass);
+}

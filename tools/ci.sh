@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full CI pass: configure, build, unit tests, golden-result
-# regression, and a ThreadSanitizer smoke of the parallel sweep
-# engine. Run from the repository root:
+# regression, a ThreadSanitizer smoke of the parallel sweep engine,
+# and an ASan+UBSan property-fuzzing smoke. Run from the repository
+# root:
 #
 #   tools/ci.sh [build-dir]
 #
@@ -31,5 +32,20 @@ cmake -B "${TSAN_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DVSMOOTH_SANITIZE=thread
 cmake --build "${TSAN_DIR}" -j "${JOBS}" --target vsmooth_tests
 "${TSAN_DIR}/tests/vsmooth_tests" --gtest_filter='Parallel*'
+
+echo "== ASan+UBSan fuzz smoke: 2000 random configs, run twice =="
+# The same seed must produce a byte-identical per-property summary —
+# the determinism guarantee the repro/corpus workflow depends on.
+FUZZ_DIR="${BUILD_DIR}-asan"
+cmake -B "${FUZZ_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DVSMOOTH_SANITIZE=address,undefined
+cmake --build "${FUZZ_DIR}" -j "${JOBS}" --target vsmooth_cli
+"${FUZZ_DIR}/src/tools/vsmooth" fuzz --seed 1 --iters 2000 \
+      --summary "${FUZZ_DIR}/fuzz-summary-a.json"
+"${FUZZ_DIR}/src/tools/vsmooth" fuzz --seed 1 --iters 2000 \
+      --summary "${FUZZ_DIR}/fuzz-summary-b.json"
+cmp "${FUZZ_DIR}/fuzz-summary-a.json" "${FUZZ_DIR}/fuzz-summary-b.json"
+"${FUZZ_DIR}/src/tools/vsmooth" fuzz --corpus tests/corpus \
+      --summary "${FUZZ_DIR}/fuzz-corpus-summary.json"
 
 echo "CI: all stages passed"
