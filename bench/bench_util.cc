@@ -1,10 +1,13 @@
 #include "bench_util.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/simd.hh"
+#include "sim/lane_group.hh"
 
 #ifndef VSMOOTH_GIT_DESCRIBE
 #define VSMOOTH_GIT_DESCRIBE "unknown"
@@ -12,10 +15,8 @@
 
 namespace vsmooth::bench {
 
-namespace {
-
 RunResult
-finish(sim::System &sys)
+resultFrom(sim::System &sys)
 {
     RunResult r;
     r.scope = sys.scope();
@@ -29,6 +30,8 @@ finish(sim::System &sys)
     return r;
 }
 
+namespace {
+
 sim::System
 makeSystem(double decapFraction)
 {
@@ -39,49 +42,114 @@ makeSystem(double decapFraction)
     return sim::System(cfg);
 }
 
+RunResult
+runPrepared(PreparedRun &p)
+{
+    if (p.untilFinished) {
+        p.sys.runUntilFinished(p.cycles);
+        if (p.sys.cycles() < p.padTo)
+            p.sys.run(p.padTo - p.sys.cycles());
+    } else {
+        p.sys.run(p.cycles);
+    }
+    return resultFrom(p.sys);
+}
+
 } // namespace
+
+PreparedRun
+prepareSingle(const workload::SpecBenchmark &bench, Cycles cycles,
+              double decapFraction, std::uint64_t seed)
+{
+    PreparedRun p{makeSystem(decapFraction), cycles};
+    p.sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(bench, cycles, true), seed + 1));
+    p.sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::idleSchedule(1000), seed + 2));
+    return p;
+}
+
+PreparedRun
+preparePair(const workload::SpecBenchmark &a,
+            const workload::SpecBenchmark &b, Cycles cycles,
+            double decapFraction, std::uint64_t seed)
+{
+    PreparedRun p{makeSystem(decapFraction), cycles};
+    p.sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(a, cycles, true), seed + 1));
+    p.sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::scheduleFor(b, cycles, true), seed + 2));
+    return p;
+}
+
+PreparedRun
+prepareParsec(const workload::ParsecBenchmark &bench, Cycles cycles,
+              double decapFraction, std::uint64_t seed)
+{
+    // PARSEC schedules are finite; pad to the nominal length so run
+    // weights stay comparable.
+    PreparedRun p{makeSystem(decapFraction), cycles, true, cycles};
+    p.sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::parsecThreadSchedule(bench, 0, cycles), seed + 1));
+    p.sys.addCore(std::make_unique<cpu::FastCore>(
+        workload::parsecThreadSchedule(bench, 1, cycles), seed + 2));
+    return p;
+}
 
 RunResult
 runSingle(const workload::SpecBenchmark &bench, Cycles cycles,
           double decapFraction, std::uint64_t seed)
 {
-    sim::System sys = makeSystem(decapFraction);
-    sys.addCore(std::make_unique<cpu::FastCore>(
-        workload::scheduleFor(bench, cycles, true), seed + 1));
-    sys.addCore(std::make_unique<cpu::FastCore>(
-        workload::idleSchedule(1000), seed + 2));
-    sys.run(cycles);
-    return finish(sys);
+    PreparedRun p = prepareSingle(bench, cycles, decapFraction, seed);
+    return runPrepared(p);
 }
 
 RunResult
 runPair(const workload::SpecBenchmark &a, const workload::SpecBenchmark &b,
         Cycles cycles, double decapFraction, std::uint64_t seed)
 {
-    sim::System sys = makeSystem(decapFraction);
-    sys.addCore(std::make_unique<cpu::FastCore>(
-        workload::scheduleFor(a, cycles, true), seed + 1));
-    sys.addCore(std::make_unique<cpu::FastCore>(
-        workload::scheduleFor(b, cycles, true), seed + 2));
-    sys.run(cycles);
-    return finish(sys);
+    PreparedRun p = preparePair(a, b, cycles, decapFraction, seed);
+    return runPrepared(p);
 }
 
 RunResult
 runParsec(const workload::ParsecBenchmark &bench, Cycles cycles,
           double decapFraction, std::uint64_t seed)
 {
-    sim::System sys = makeSystem(decapFraction);
-    sys.addCore(std::make_unique<cpu::FastCore>(
-        workload::parsecThreadSchedule(bench, 0, cycles), seed + 1));
-    sys.addCore(std::make_unique<cpu::FastCore>(
-        workload::parsecThreadSchedule(bench, 1, cycles), seed + 2));
-    sys.runUntilFinished(cycles);
-    // PARSEC schedules are finite; pad to the nominal length so run
-    // weights stay comparable.
-    if (sys.cycles() < cycles)
-        sys.run(cycles - sys.cycles());
-    return finish(sys);
+    PreparedRun p = prepareParsec(bench, cycles, decapFraction, seed);
+    return runPrepared(p);
+}
+
+void
+runLanedSweep(
+    std::size_t total,
+    const std::function<PreparedRun(std::size_t)> &prepare,
+    const std::function<void(std::size_t, sim::System &)> &extract)
+{
+    const std::size_t lanes = simd::defaultLaneWidth();
+    const std::size_t nGroups = (total + lanes - 1) / lanes;
+    parallelFor(0, nGroups, [&](std::size_t g) {
+        const std::size_t begin = g * lanes;
+        const std::size_t end = std::min(total, begin + lanes);
+        std::vector<PreparedRun> prepared;
+        prepared.reserve(end - begin);
+        std::vector<sim::LanePlan> plans;
+        plans.reserve(end - begin);
+        for (std::size_t t = begin; t < end; ++t) {
+            prepared.push_back(prepare(t));
+            PreparedRun &p = prepared.back();
+            sim::LanePlan plan;
+            plan.system = &p.sys;
+            plan.cycles = p.cycles;
+            plan.untilFinished = p.untilFinished;
+            plan.padTo = p.padTo;
+            plans.push_back(plan);
+        }
+        sim::LaneGroup group(lanes);
+        group.run(plans);
+        for (std::size_t t = begin; t < end; ++t)
+            extract(t, prepared[t - begin].sys);
+    });
 }
 
 Population
@@ -108,19 +176,24 @@ runPopulation(Cycles cyclesPerRun, double decapFraction,
         return seed + 17ULL * (t + 1);
     };
 
-    const auto results =
-        parallelMap<RunResult>(total, [&](std::size_t t) {
+    std::vector<RunResult> results(total);
+    runLanedSweep(
+        total,
+        [&](std::size_t t) {
             if (t < nSingle) {
-                return runSingle(suite[t], cyclesPerRun, decapFraction,
-                                 seedFor(t));
+                return prepareSingle(suite[t], cyclesPerRun,
+                                     decapFraction, seedFor(t));
             }
             if (t < nSingle + nParsec) {
-                return runParsec(parsec[t - nSingle], cyclesPerRun,
-                                 decapFraction, seedFor(t));
+                return prepareParsec(parsec[t - nSingle], cyclesPerRun,
+                                     decapFraction, seedFor(t));
             }
             const auto [i, j] = pairIdx[t - nSingle - nParsec];
-            return runPair(suite[i], suite[j], cyclesPerRun,
-                           decapFraction, seedFor(t));
+            return preparePair(suite[i], suite[j], cyclesPerRun,
+                               decapFraction, seedFor(t));
+        },
+        [&](std::size_t t, sim::System &sys) {
+            results[t] = resultFrom(sys);
         });
 
     // Merge after the join, in index order.
@@ -140,6 +213,7 @@ makeResult(std::string experiment, std::uint64_t seed)
     r.setSeed(seed);
     r.setJobs(numJobs());
     r.setGitDescribe(VSMOOTH_GIT_DESCRIBE);
+    r.setSimd(simd::description());
     return r;
 }
 

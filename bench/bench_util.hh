@@ -11,6 +11,7 @@
 #ifndef VSMOOTH_BENCH_BENCH_UTIL_HH
 #define VSMOOTH_BENCH_BENCH_UTIL_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -43,6 +44,39 @@ struct RunResult
     }
 };
 
+/** Collect a RunResult from a completed simulation. */
+RunResult resultFrom(sim::System &sys);
+
+/**
+ * A fully constructed simulation plus its run plan, ready to execute
+ * either solo or as one lane of a sim::LaneGroup sweep. The System is
+ * held by value so a sweep group can own its lane states contiguously.
+ */
+struct PreparedRun
+{
+    sim::System sys;
+    Cycles cycles = 0;
+    /** Run until the schedules finish instead of for a fixed budget. */
+    bool untilFinished = false;
+    /** After finishing, pad out to this cycle count (0 = no pad). */
+    Cycles padTo = 0;
+};
+
+/** Build (but do not run) the runSingle simulation. */
+PreparedRun prepareSingle(const workload::SpecBenchmark &bench,
+                          Cycles cycles, double decapFraction = 1.0,
+                          std::uint64_t seed = 1);
+
+/** Build (but do not run) the runPair simulation. */
+PreparedRun preparePair(const workload::SpecBenchmark &a,
+                        const workload::SpecBenchmark &b, Cycles cycles,
+                        double decapFraction = 1.0, std::uint64_t seed = 1);
+
+/** Build (but do not run) the runParsec simulation. */
+PreparedRun prepareParsec(const workload::ParsecBenchmark &bench,
+                          Cycles cycles, double decapFraction = 1.0,
+                          std::uint64_t seed = 1);
+
 /** Run one benchmark with the second core idle. */
 RunResult runSingle(const workload::SpecBenchmark &bench, Cycles cycles,
                     double decapFraction = 1.0, std::uint64_t seed = 1);
@@ -55,6 +89,21 @@ RunResult runPair(const workload::SpecBenchmark &a,
 /** Run one PARSEC program with two threads. */
 RunResult runParsec(const workload::ParsecBenchmark &bench, Cycles cycles,
                     double decapFraction = 1.0, std::uint64_t seed = 1);
+
+/**
+ * Execute `total` independently prepared simulations, draining them
+ * through sim::LaneGroup lanes under the worker-thread pool: each
+ * worker claims a group of K consecutive indices, builds its K systems
+ * with `prepare`, steps them in SIMD lockstep, and hands each finished
+ * system to `extract` (called with the scenario index, in group order).
+ * Group boundaries derive from the index alone and every laned run is
+ * bit-identical to a solo run, so results are invariant under both the
+ * job count and the lane width.
+ */
+void runLanedSweep(
+    std::size_t total,
+    const std::function<PreparedRun(std::size_t)> &prepare,
+    const std::function<void(std::size_t, sim::System &)> &extract);
 
 /**
  * Aggregate population statistics over the paper's 881-run set

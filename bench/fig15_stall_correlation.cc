@@ -27,12 +27,19 @@ main()
 
     // One independent run per benchmark; seeds derive from the suite
     // index (the serial loop's `seed += 13` walk), results land in
-    // suite order, so the table is identical for any job count.
+    // suite order, so the table is identical for any job count. The
+    // sweep drains the suite K benchmarks at a time through the
+    // scenario-lane engine.
     const auto &suite = workload::specCpu2006();
-    const auto results = parallelMap<bench::RunResult>(
-        suite.size(), [&](std::size_t k) {
-            return bench::runSingle(suite[k], 1'000'000, 1.0,
-                                    1000 + 13ULL * (k + 1));
+    std::vector<bench::RunResult> results(suite.size());
+    bench::runLanedSweep(
+        suite.size(),
+        [&](std::size_t k) {
+            return bench::prepareSingle(suite[k], 1'000'000, 1.0,
+                                        1000 + 13ULL * (k + 1));
+        },
+        [&](std::size_t k, sim::System &sys) {
+            results[k] = bench::resultFrom(sys);
         });
 
     std::vector<double> droops, stalls;

@@ -8,9 +8,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "bench_util.hh"
 #include "circuit/transient.hh"
 #include "common/parallel.hh"
 #include "cpu/detailed_core.hh"
@@ -180,6 +183,73 @@ BM_OracleMatrixBuild8(benchmark::State &state)
 }
 BENCHMARK(BM_OracleMatrixBuild8)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/**
+ * Population-style sweep of single-benchmark runs drained through the
+ * scenario-lane engine. Arg = lane width (1 = degenerate single-lane
+ * groups, i.e. the pre-lane execution path); items are simulated
+ * cycles, and the Arg(1) vs Arg(4)/Arg(8) ratio is the SIMD speedup
+ * BENCH_pr5.json records.
+ */
+void
+BM_PopulationLaned(benchmark::State &state)
+{
+    const std::string lanes = std::to_string(state.range(0));
+    setenv("VSMOOTH_LANES", lanes.c_str(), 1);
+    setJobs(1);
+    const auto &suite = workload::specCpu2006();
+    constexpr std::size_t kRuns = 16;
+    constexpr Cycles kCycles = 40'000;
+    for (auto _ : state) {
+        bench::runLanedSweep(
+            kRuns,
+            [&](std::size_t t) {
+                return bench::prepareSingle(suite[t % suite.size()],
+                                            kCycles, 1.0,
+                                            1 + 17ULL * (t + 1));
+            },
+            [&](std::size_t, sim::System &sys) {
+                benchmark::DoNotOptimize(sys.scope().maxDroop());
+            });
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kRuns * kCycles));
+    unsetenv("VSMOOTH_LANES");
+    setJobs(0);
+}
+BENCHMARK(BM_PopulationLaned)
+    ->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/**
+ * OracleMatrix pre-run phase (reduced 8-benchmark suite) with the
+ * lane width pinned. Arg = lane width, one worker thread, so the
+ * measured ratio isolates the SIMD lockstep gain from thread scaling.
+ */
+void
+BM_OracleMatrixLaned(benchmark::State &state)
+{
+    const std::string lanes = std::to_string(state.range(0));
+    setenv("VSMOOTH_LANES", lanes.c_str(), 1);
+    setJobs(1);
+    const auto &full = workload::specCpu2006();
+    const std::vector<workload::SpecBenchmark> suite(full.begin(),
+                                                     full.begin() + 8);
+    sched::OracleConfig cfg;
+    cfg.cyclesPerPair = 60'000;
+    for (auto _ : state) {
+        const sched::OracleMatrix m(suite, cfg);
+        benchmark::DoNotOptimize(m.pair(0, 1).ipc);
+    }
+    state.SetItemsProcessed(state.iterations() * (8 * 9 / 2 + 8));
+    unsetenv("VSMOOTH_LANES");
+    setJobs(0);
+}
+BENCHMARK(BM_OracleMatrixLaned)
+    ->Arg(1)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

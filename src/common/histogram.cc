@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "logging.hh"
+#include "simd.hh"
 
 namespace vsmooth {
 
@@ -51,6 +52,39 @@ Histogram::addBlock(const double *xs, std::size_t n)
     std::uint64_t over = 0;
     double mn = min_;
     double mx = max_;
+    // With an AVX2 bin classifier registered, precompute clamped bin
+    // indices (or out-of-range sentinels) a chunk at a time, then
+    // apply counts and the running extremes in scalar sample order —
+    // the index arithmetic is add()'s exactly, and min/max keep their
+    // first-seen/±0 ordering semantics.
+    const simd::BinIndexFn classify = simd::kernels().binIndex;
+    if (classify && last < simd::kBinOverflow) {
+        constexpr std::size_t kChunk = 256;
+        std::uint32_t idx[kChunk];
+        for (std::size_t j0 = 0; j0 < n; j0 += kChunk) {
+            const std::size_t m = std::min(kChunk, n - j0);
+            classify(xs + j0, m, lo, hi, inv,
+                     static_cast<std::uint32_t>(last), idx);
+            for (std::size_t j = 0; j < m; ++j) {
+                const double x = xs[j0 + j];
+                const std::uint32_t b = idx[j];
+                if (b == simd::kBinUnderflow)
+                    ++under;
+                else if (b == simd::kBinOverflow)
+                    ++over;
+                else
+                    ++counts[b];
+                mn = x < mn ? x : mn;
+                mx = x > mx ? x : mx;
+            }
+        }
+        underflow_ += under;
+        overflow_ += over;
+        total_ += n;
+        min_ = mn;
+        max_ = mx;
+        return;
+    }
     for (std::size_t j = 0; j < n; ++j) {
         const double x = xs[j];
         if (x < lo) {

@@ -72,6 +72,10 @@ Result::toJson() const
     j.set("git", git_);
     j.set("seed", Json(static_cast<double>(seed_)));
     j.set("jobs", Json(static_cast<double>(jobs_)));
+    // Omitted when not recorded, which keeps pre-existing goldens
+    // (and their round-trip tests) byte-stable.
+    if (!simd_.empty())
+        j.set("simd", simd_);
     Json m = Json::object();
     for (const auto &[n, v] : metrics_)
         m.set(n, Json(v));
@@ -107,6 +111,8 @@ Result::fromJson(const Json &j, Result &out, std::string *error)
         out.setSeed(static_cast<std::uint64_t>(seed->asNumber()));
     if (const Json *jobs = j.find("jobs"); jobs && jobs->isNumber())
         out.setJobs(static_cast<std::uint64_t>(jobs->asNumber()));
+    if (const Json *simd = j.find("simd"); simd && simd->isString())
+        out.setSimd(simd->asString());
     if (const Json *m = j.find("metrics")) {
         if (!m->isObject())
             return fail("'metrics' is not an object");

@@ -51,6 +51,12 @@ class Result
     std::uint64_t jobs() const { return jobs_; }
     void setJobs(std::uint64_t j) { jobs_ = j; }
 
+    /** SIMD path stamp, e.g. "avx2x8" (empty = not recorded).
+     *  Informational, like seed/jobs/git: runs must be bit-identical
+     *  across kernel levels, so it is never compared. */
+    const std::string &simd() const { return simd_; }
+    void setSimd(std::string s) { simd_ = std::move(s); }
+
     /** Append (or overwrite) a named scalar metric. */
     void metric(std::string_view name, double value);
     /** Append (or overwrite) a named numeric series. */
@@ -75,6 +81,7 @@ class Result
   private:
     std::string experiment_;
     std::string git_ = "unknown";
+    std::string simd_;
     std::uint64_t seed_ = 1;
     std::uint64_t jobs_ = 1;
     std::vector<std::pair<std::string, double>> metrics_;

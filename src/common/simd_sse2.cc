@@ -1,0 +1,137 @@
+/**
+ * @file
+ * SSE2 (width-2) instantiation of the lane-step kernel. SSE2 is
+ * architectural on x86-64, so this is the vector baseline. The one
+ * instruction SSE2 lacks is roundpd: floorNonNeg() uses the 2^52
+ * round-to-integer trick with a conditional correction, exact for all
+ * non-negative inputs (the kernel only floors t / period with t >= 0).
+ */
+
+#include "simd_kernels.hh"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <emmintrin.h>
+
+namespace vsmooth::simd {
+namespace {
+
+struct VecSse2
+{
+    static constexpr std::size_t width = 2;
+
+    __m128d v;
+
+    static VecSse2 set1(double x) { return {_mm_set1_pd(x)}; }
+    static VecSse2 load(const double *p) { return {_mm_loadu_pd(p)}; }
+    static void store(double *p, VecSse2 a) { _mm_storeu_pd(p, a.v); }
+
+    /** Sample j of each of the `width` lane streams in p[]. */
+    static VecSse2 gather(const double *const *p, std::size_t j)
+    {
+        return {_mm_set_pd(p[1][j], p[0][j])};
+    }
+    static void scatter(double *const *p, std::size_t j, VecSse2 a)
+    {
+        _mm_storel_pd(p[0] + j, a.v);
+        _mm_storeh_pd(p[1] + j, a.v);
+    }
+
+    /** Samples j..j+1 of both lane streams as a 2x2 register
+     *  transpose: out[k] holds sample j+k across lanes. */
+    static void gatherT(const double *const *p, std::size_t j,
+                        VecSse2 *out)
+    {
+        const __m128d r0 = _mm_loadu_pd(p[0] + j);
+        const __m128d r1 = _mm_loadu_pd(p[1] + j);
+        out[0].v = _mm_unpacklo_pd(r0, r1);
+        out[1].v = _mm_unpackhi_pd(r0, r1);
+    }
+    static void scatterT(double *const *p, std::size_t j,
+                         const VecSse2 *in)
+    {
+        _mm_storeu_pd(p[0] + j, _mm_unpacklo_pd(in[0].v, in[1].v));
+        _mm_storeu_pd(p[1] + j, _mm_unpackhi_pd(in[0].v, in[1].v));
+    }
+
+    friend VecSse2 operator+(VecSse2 a, VecSse2 b)
+    {
+        return {_mm_add_pd(a.v, b.v)};
+    }
+    friend VecSse2 operator-(VecSse2 a, VecSse2 b)
+    {
+        return {_mm_sub_pd(a.v, b.v)};
+    }
+    friend VecSse2 operator*(VecSse2 a, VecSse2 b)
+    {
+        return {_mm_mul_pd(a.v, b.v)};
+    }
+    friend VecSse2 operator/(VecSse2 a, VecSse2 b)
+    {
+        return {_mm_div_pd(a.v, b.v)};
+    }
+
+    static VecSse2 min(VecSse2 a, VecSse2 b)
+    {
+        return {_mm_min_pd(a.v, b.v)};
+    }
+    static VecSse2 max(VecSse2 a, VecSse2 b)
+    {
+        return {_mm_max_pd(a.v, b.v)};
+    }
+
+    static VecSse2 gtMask(VecSse2 a, VecSse2 b)
+    {
+        return {_mm_cmpgt_pd(a.v, b.v)};
+    }
+    static VecSse2 ltMask(VecSse2 a, VecSse2 b)
+    {
+        return {_mm_cmplt_pd(a.v, b.v)};
+    }
+    /** Select b where the mask is set, else a. */
+    static VecSse2 blend(VecSse2 a, VecSse2 b, VecSse2 mask)
+    {
+        return {_mm_or_pd(_mm_and_pd(mask.v, b.v),
+                          _mm_andnot_pd(mask.v, a.v))};
+    }
+
+    static VecSse2 floorNonNeg(VecSse2 a)
+    {
+        // q + 2^52 - 2^52 rounds q to the nearest integer (ties to
+        // even); subtract 1 where rounding went up, and pass q through
+        // untouched when q >= 2^52 (already an exact integer).
+        const __m128d magic = _mm_set1_pd(4503599627370496.0); // 2^52
+        const __m128d one = _mm_set1_pd(1.0);
+        const __m128d rounded =
+            _mm_sub_pd(_mm_add_pd(a.v, magic), magic);
+        const __m128d tooBig = _mm_cmpgt_pd(rounded, a.v);
+        const __m128d floored =
+            _mm_sub_pd(rounded, _mm_and_pd(tooBig, one));
+        const __m128d huge = _mm_cmpge_pd(a.v, magic);
+        return {_mm_or_pd(_mm_and_pd(huge, a.v),
+                          _mm_andnot_pd(huge, floored))};
+    }
+};
+
+void
+laneStepSse2(LaneStepArgs &args)
+{
+    laneStepKernel<VecSse2>(args);
+}
+
+} // namespace
+
+const KernelSet kSse2Kernels = {laneStepSse2, nullptr, nullptr};
+
+} // namespace vsmooth::simd
+
+#else // !x86-64
+
+namespace vsmooth::simd {
+
+// Non-x86 hosts never dispatch above Scalar; keep the symbol defined.
+const KernelSet kSse2Kernels = {nullptr, nullptr, nullptr};
+
+} // namespace vsmooth::simd
+
+#endif

@@ -146,6 +146,10 @@ class SecondOrderPdn
     /** Elapsed simulated time. */
     Seconds time() const { return Seconds(time_); }
 
+    /** VRM ripple period in seconds (always finite and positive —
+     *  set from the frequency even when the amplitude is zero). */
+    double ripplePeriod() const { return ripplePeriod_; }
+
     /**
      * Reset state to the DC operating point for a given steady load.
      */

@@ -7,6 +7,7 @@
 #endif
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace vsmooth::power {
 
@@ -73,6 +74,14 @@ CurrentModel::steadyBlock(const double *activity, double *steady,
     const double leak = params_.leakage.value();
     const double idleClk = params_.idleClock.value();
     const double dynMax = params_.dynamicMax.value();
+    // The AVX2 build registers a 4-wide version of exactly this
+    // arithmetic (same operations, same order); levels below that fall
+    // through to the built-in SSE2/scalar loops, which already are the
+    // reference.
+    if (const simd::SteadyFn kernel = simd::kernels().steady) {
+        kernel(leak, idleClk, dynMax, activity, steady, n);
+        return;
+    }
     std::size_t j = 0;
 #if defined(__SSE2__)
     // Two lanes at a time with packed min/max: the compiler keeps the

@@ -1,10 +1,13 @@
 #include "oracle_matrix.hh"
 
+#include <algorithm>
 #include <memory>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/simd.hh"
 #include "cpu/fast_core.hh"
+#include "sim/lane_group.hh"
 #include "workload/microbench.hh"
 
 namespace vsmooth::sched {
@@ -40,9 +43,38 @@ OracleMatrix::OracleMatrix(
         }
     }
 
-    parallelFor(0, tasks.size(), [&](std::size_t t) {
-        const Task &task = tasks[t];
-        *task.out = measure(task.i, task.j, task.idleSecond);
+    // Two levels of parallelism: worker threads over groups of K
+    // measurements, and within each worker a LaneGroup stepping its K
+    // independent simulations through one SIMD kernel in lockstep.
+    // Group boundaries derive from the task index alone, and every
+    // laned run is bit-identical to a solo measure(), so the matrix is
+    // unchanged for any job count and any lane width.
+    const std::size_t lanes = simd::defaultLaneWidth();
+    const std::size_t nGroups = (tasks.size() + lanes - 1) / lanes;
+    parallelFor(0, nGroups, [&](std::size_t g) {
+        const std::size_t begin = g * lanes;
+        const std::size_t end =
+            std::min(tasks.size(), begin + lanes);
+        std::vector<sim::System> systems;
+        systems.reserve(end - begin);
+        std::vector<sim::LanePlan> plans;
+        plans.reserve(end - begin);
+        for (std::size_t t = begin; t < end; ++t) {
+            const Task &task = tasks[t];
+            systems.push_back(
+                buildMeasure(task.i, task.j, task.idleSecond));
+            sim::LanePlan plan;
+            plan.system = &systems.back();
+            plan.cycles = cfg_.cyclesPerPair;
+            plans.push_back(plan);
+        }
+        sim::LaneGroup group(lanes);
+        group.run(plans);
+        for (std::size_t t = begin; t < end; ++t) {
+            const Task &task = tasks[t];
+            *task.out = profileFrom(systems[t - begin], task.i,
+                                    task.j, task.idleSecond);
+        }
     });
 }
 
@@ -58,6 +90,15 @@ OracleMatrix::pair(std::size_t i, std::size_t j) const
 
 PairProfile
 OracleMatrix::measure(std::size_t i, std::size_t j, bool idleSecond) const
+{
+    sim::System sys = buildMeasure(i, j, idleSecond);
+    sys.run(cfg_.cyclesPerPair);
+    return profileFrom(sys, i, j, idleSecond);
+}
+
+sim::System
+OracleMatrix::buildMeasure(std::size_t i, std::size_t j,
+                           bool idleSecond) const
 {
     sim::SystemConfig sys_cfg = cfg_.system;
     sys_cfg.osTickInterval = sim::kCompressedOsTick;
@@ -77,8 +118,13 @@ OracleMatrix::measure(std::size_t i, std::size_t j, bool idleSecond) const
             workload::scheduleFor(suite_[j], cfg_.cyclesPerPair, true),
             base + 2));
     }
-    sys.run(cfg_.cyclesPerPair);
+    return sys;
+}
 
+PairProfile
+OracleMatrix::profileFrom(sim::System &sys, std::size_t i,
+                          std::size_t j, bool idleSecond) const
+{
     PairProfile profile;
     profile.droopsPer1k =
         1000.0 * sys.scope().fractionBelow(-cfg_.droopMargin);

@@ -76,6 +76,12 @@ class OracleMatrix
   private:
     PairProfile measure(std::size_t i, std::size_t j,
                         bool idleSecond) const;
+    /** Construct (but do not run) the System for one measurement. */
+    sim::System buildMeasure(std::size_t i, std::size_t j,
+                             bool idleSecond) const;
+    /** Extract the profile from a completed measurement run. */
+    PairProfile profileFrom(sim::System &sys, std::size_t i,
+                            std::size_t j, bool idleSecond) const;
 
     std::vector<workload::SpecBenchmark> suite_;
     OracleConfig cfg_;

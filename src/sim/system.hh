@@ -179,6 +179,10 @@ class System
     bool blockedExecutionActive() const { return blockEligible_; }
 
   private:
+    /** The scenario-lane engine steps K Systems in lockstep through
+     *  the same block pipeline and needs the private stages. */
+    friend class LaneGroup;
+
     /** One-time start-of-simulation initialization (PDN settling,
      *  per-rail construction, OS-tick countdowns, block buffers). */
     void start();

@@ -8,10 +8,12 @@
 #include "common/histogram.hh"
 #include "common/parallel.hh"
 #include "common/result.hh"
+#include "common/simd.hh"
 #include "cpu/fast_core.hh"
 #include "pdn/package_config.hh"
 #include "pdn/second_order.hh"
 #include "sim/calibration.hh"
+#include "sim/lane_group.hh"
 #include "sim/system.hh"
 #include "workload/spec_suite.hh"
 
@@ -120,7 +122,12 @@ summarizeRun(const FuzzConfig &cfg, bool forceScalar)
         sys.run(cfg.cycles);
     else
         sys.runUntilFinished(cfg.cycles);
+    return summarizeSystem(sys, cfg);
+}
 
+RunSummary
+summarizeSystem(sim::System &sys, const FuzzConfig &cfg)
+{
     RunSummary s;
     s.cycles = sys.cycles();
     s.dieVoltage = sys.dieVoltage();
@@ -292,6 +299,65 @@ checkParallelVsSerial(const FuzzConfig &cfg, std::string *why)
                 *why = "jobs=" + std::to_string(cfg.jobs) +
                     " != jobs=1 at sweep index " + std::to_string(i) +
                     ": " + diff;
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// laned_vs_scalar
+// ---------------------------------------------------------------------
+
+bool
+checkLanedVsScalar(const FuzzConfig &cfg, std::string *why)
+{
+    // K independent scenario variants derived from the config, stepped
+    // together through the scenario-lane engine and compared lane by
+    // lane against solo runs. Odd lanes flip the loop flag, so a
+    // finite-schedule config mixes retiring and looping lanes (and
+    // vice versa), exercising mid-sweep retirement and repacking. The
+    // lane width comes from the seed, never the environment, keeping
+    // shrunk repro files self-contained.
+    const std::size_t lanes = 1 + cfg.seed % simd::kMaxLanes;
+    auto subConfig = [&](std::size_t i) {
+        FuzzConfig c = cfg;
+        c.seed = cfg.seed + 257 * i;
+        c.cycles = std::min<Cycles>(cfg.cycles, 12'000);
+        if (i % 2 == 1)
+            c.loop = !cfg.loop;
+        return c;
+    };
+
+    std::vector<FuzzConfig> cfgs;
+    cfgs.reserve(lanes);
+    std::vector<sim::System> systems;
+    systems.reserve(lanes);
+    std::vector<sim::LanePlan> plans;
+    plans.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) {
+        cfgs.push_back(subConfig(i));
+        systems.emplace_back(toSystemConfig(cfgs[i], false));
+        addCores(systems.back(), cfgs[i]);
+        sim::LanePlan plan;
+        plan.system = &systems.back();
+        plan.cycles = cfgs[i].cycles;
+        plan.untilFinished = !cfgs[i].loop;
+        plans.push_back(plan);
+    }
+    sim::LaneGroup group(lanes);
+    group.run(plans);
+
+    for (std::size_t i = 0; i < lanes; ++i) {
+        const RunSummary laned = summarizeSystem(systems[i], cfgs[i]);
+        const RunSummary solo = summarizeRun(cfgs[i], false);
+        const std::string diff = firstDifference(laned, solo);
+        if (!diff.empty()) {
+            if (why) {
+                *why = "laned(width=" + std::to_string(lanes) +
+                    ") != solo at lane " + std::to_string(i) + ": " +
+                    diff;
             }
             return false;
         }
@@ -624,6 +690,10 @@ propertyRegistry()
         {"parallel_vs_serial",
          "parallelMap sweep bit-identical for any job count",
          &checkParallelVsSerial},
+        {"laned_vs_scalar",
+         "scenario-lane engine bit-identical to solo runs at any "
+         "lane width",
+         &checkLanedVsScalar},
         {"pdn_linearity",
          "PDN superposition/scaling, exact DC gain, bounded step "
          "response",

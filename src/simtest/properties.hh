@@ -13,6 +13,9 @@
  *     observable exactly;
  *   - parallel_vs_serial: a parallelMap sweep is bit-identical for
  *     any worker-thread count;
+ *   - laned_vs_scalar: the scenario-lane SIMD engine (sim::LaneGroup)
+ *     is bit-identical to solo runs at any lane width, including
+ *     mixed finite/looping schedules that retire mid-sweep;
  *   - pdn_linearity: the second-order PDN is LTI — superposition and
  *     scaling of current stimuli, exact DC gain R·I, and a step
  *     response inside analytic second-order bounds;
@@ -35,6 +38,10 @@
 #include <vector>
 
 #include "simtest/gen.hh"
+
+namespace vsmooth::sim {
+class System;
+}
 
 namespace vsmooth::simtest {
 
@@ -87,6 +94,10 @@ struct RunSummary
  * side of the differential).
  */
 RunSummary summarizeRun(const FuzzConfig &cfg, bool forceScalar);
+
+/** Capture the observables of an already-executed System (the laned
+ *  side of the differential, where LaneGroup drove the run). */
+RunSummary summarizeSystem(sim::System &sys, const FuzzConfig &cfg);
 
 /** Human-readable first difference between two summaries; empty when
  *  identical. */

@@ -66,6 +66,7 @@
 #include "common/argparse.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/simd.hh"
 #include "common/table.hh"
 #include "cpu/fast_core.hh"
 #include "pdn/droop_analysis.hh"
@@ -403,6 +404,11 @@ main(int argc, char **argv)
 {
     if (argc < 2)
         usage();
+    // Resolve the SIMD dispatch level up front: a bad VSMOOTH_SIMD or
+    // VSMOOTH_LANES value fails before any work starts, and the
+    // selected kernel/lane-width report lands once at the top of the
+    // output instead of mid-run.
+    simd::activeLevel();
     const std::string cmd = argv[1];
 
     if (cmd == "list")

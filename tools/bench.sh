@@ -1,31 +1,42 @@
 #!/usr/bin/env bash
 # Build and run the simulator microbenchmarks that guard the batched
-# tick pipeline, emitting google-benchmark JSON. Run from the
-# repository root:
+# tick pipeline and the scenario-lane SIMD engine, emitting
+# google-benchmark JSON. Run from the repository root:
 #
 #   tools/bench.sh [build-dir] [out-json]
 #
-# The default output, BENCH_pr3.json at the repo root, records the
-# BM_SystemTickDualCore (per-cycle baseline) vs BM_SystemTickBlocked
-# (batched path) throughput pair; items_per_second is simulated
-# cycles per second for both, so the ratio is the batching speedup.
+# The output name selects the benchmark set:
+#
+#   BENCH_pr3.json (default) — BM_SystemTickDualCore (per-cycle
+#     baseline) vs BM_SystemTickBlocked (batched path); the
+#     items_per_second ratio is the batching speedup.
+#   BENCH_pr5*.json — BM_PopulationLaned / BM_OracleMatrixLaned at
+#     lane widths 1/4/8 on one worker thread; the width-1 vs widest
+#     ratio is the scenario-lane SIMD speedup (lanes=1 runs every
+#     scenario through the pre-lane solo path, i.e. the PR 3
+#     baseline execution).
 #
 # Shared CI runners are noisy (run-to-run swings of 15-20%), so each
 # benchmark runs several repetitions with random interleaving and the
 # recorded figure is the per-benchmark median — the interleaving makes
-# the pair see the same machine conditions, which is what makes their
-# ratio meaningful.
+# each compared pair see the same machine conditions, which is what
+# makes their ratio meaningful.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_pr3.json}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+case "$(basename "${OUT_JSON}")" in
+    BENCH_pr5*) FILTER='Laned' ;;
+    *)          FILTER='BM_SystemTick' ;;
+esac
+
 cmake -B "${BUILD_DIR}" -S . >/dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}" --target perf_simulator
 
 "${BUILD_DIR}/bench/perf_simulator" \
-    --benchmark_filter='BM_SystemTick' \
+    --benchmark_filter="${FILTER}" \
     --benchmark_min_time=0.5 \
     --benchmark_repetitions=5 \
     --benchmark_enable_random_interleaving=true \
@@ -45,4 +56,13 @@ if base and blocked:
     print(f"per-tick baseline: {base / 1e6:.2f}M cycles/s (median of 5)")
     print(f"batched pipeline:  {blocked / 1e6:.2f}M cycles/s (median of 5)")
     print(f"speedup:           {blocked / base:.2f}x")
+for bench in ("BM_PopulationLaned", "BM_OracleMatrixLaned"):
+    one = rates.get(f"{bench}/1/real_time_median")
+    if not one:
+        continue
+    for width in (4, 8):
+        wide = rates.get(f"{bench}/{width}/real_time_median")
+        if wide:
+            print(f"{bench}: lanes=1 -> lanes={width} "
+                  f"speedup {wide / one:.2f}x (median of 5)")
 EOF

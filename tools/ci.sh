@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full CI pass: configure, build, unit tests, golden-result
 # regression, a ThreadSanitizer smoke of the parallel sweep engine,
-# and an ASan+UBSan property-fuzzing smoke. Run from the repository
-# root:
+# an ASan+UBSan property-fuzzing smoke (including a dedicated
+# scenario-lane equivalence pass), and a clean-work-tree check. Run
+# from the repository root:
 #
 #   tools/ci.sh [build-dir]
 #
@@ -23,8 +24,15 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
 echo "== tier-2: golden-result regression (jobs=4 and jobs=1) =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -L golden
 
+# Bench outputs land inside the (ignored) build tree: the tracked
+# BENCH_pr*.json snapshots at the repo root are refreshed manually
+# when a PR's numbers are (re)recorded, not on every CI run — CI must
+# leave the work tree exactly as it found it.
 echo "== bench: batched tick pipeline throughput =="
-tools/bench.sh "${BUILD_DIR}" BENCH_pr3.json
+tools/bench.sh "${BUILD_DIR}" "${BUILD_DIR}/BENCH_pr3.json"
+
+echo "== bench: scenario-lane sweep throughput =="
+tools/bench.sh "${BUILD_DIR}" "${BUILD_DIR}/BENCH_pr5.json"
 
 echo "== TSan smoke: parallel sweep engine =="
 TSAN_DIR="${BUILD_DIR}-tsan"
@@ -47,5 +55,24 @@ cmake --build "${FUZZ_DIR}" -j "${JOBS}" --target vsmooth_cli
 cmp "${FUZZ_DIR}/fuzz-summary-a.json" "${FUZZ_DIR}/fuzz-summary-b.json"
 "${FUZZ_DIR}/src/tools/vsmooth" fuzz --corpus tests/corpus \
       --summary "${FUZZ_DIR}/fuzz-corpus-summary.json"
+
+echo "== ASan+UBSan fuzz: scenario-lane vs solo equivalence, 2000 configs =="
+# Dedicated deep pass over the laned_vs_scalar property: every random
+# config runs through LaneGroup at a seed-derived lane width and must
+# produce bit-identical summaries to solo runs, with the sanitizers
+# watching the lane gather/scatter and retirement/repack paths.
+"${FUZZ_DIR}/src/tools/vsmooth" fuzz --seed 1 --iters 2000 \
+      --properties laned_vs_scalar \
+      --summary "${FUZZ_DIR}/fuzz-laned-summary.json"
+
+echo "== work tree must be clean after a full build+test cycle =="
+# Everything CI produces belongs in the ignored build*/ trees; a
+# leftover means a stage wrote into the source tree (or .gitignore
+# lost coverage of a local build directory).
+if [ -n "$(git status --porcelain)" ]; then
+    echo "error: work tree dirty after CI:" >&2
+    git status --porcelain >&2
+    exit 1
+fi
 
 echo "CI: all stages passed"
