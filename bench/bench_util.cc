@@ -177,6 +177,7 @@ runPopulation(Cycles cyclesPerRun, double decapFraction,
     };
 
     std::vector<RunResult> results(total);
+    std::vector<sim::SamplingReport> reports(total);
     runLanedSweep(
         total,
         [&](std::size_t t) {
@@ -194,6 +195,7 @@ runPopulation(Cycles cyclesPerRun, double decapFraction,
         },
         [&](std::size_t t, sim::System &sys) {
             results[t] = resultFrom(sys);
+            reports[t] = sys.samplingReport();
         });
 
     // Merge after the join, in index order.
@@ -203,6 +205,8 @@ runPopulation(Cycles cyclesPerRun, double decapFraction,
         pop.tailFractions.push_back(r.scope.fractionBelow(-0.04));
         ++pop.runs;
     }
+    for (const auto &rep : reports)
+        pop.sampling.merge(rep);
     return pop;
 }
 
@@ -215,6 +219,19 @@ makeResult(std::string experiment, std::uint64_t seed)
     r.setGitDescribe(VSMOOTH_GIT_DESCRIBE);
     r.setSimd(simd::description());
     return r;
+}
+
+void
+stampSampling(Result &r, const sim::SamplingReport &report,
+              std::vector<std::pair<std::string, double>> bounds)
+{
+    if (!report.active)
+        return;
+    ResultSampling s;
+    s.mode = "auto";
+    s.simulatedFraction = report.simulatedFraction();
+    s.bounds = std::move(bounds);
+    r.setSampling(std::move(s));
 }
 
 void

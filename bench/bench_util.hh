@@ -119,6 +119,9 @@ struct Population
     /** Per-run fraction of samples below -4 % (typical-case tail). */
     std::vector<double> tailFractions;
     std::size_t runs = 0;
+    /** Merged sampled-execution report over all runs (inactive when
+     *  every run executed exactly — the default). */
+    sim::SamplingReport sampling;
 };
 
 Population runPopulation(Cycles cyclesPerRun, double decapFraction,
@@ -130,6 +133,17 @@ Population runPopulation(Cycles cyclesPerRun, double decapFraction,
  * --jobs), and the git revision of the producing build.
  */
 Result makeResult(std::string experiment, std::uint64_t seed = 1);
+
+/**
+ * Attach sampled-execution metadata to a Result when the report says
+ * sampling was active (a no-op otherwise, so default exact runs keep
+ * their goldens byte-stable): the mode, the realized simulated
+ * fraction, and the caller-supplied (metric-name, absolute-bound)
+ * annotations mapping the report's generic bounds onto the
+ * experiment's own metric/series names and units.
+ */
+void stampSampling(Result &r, const sim::SamplingReport &report,
+                   std::vector<std::pair<std::string, double>> bounds);
 
 /**
  * Emit a Result as JSON alongside the text tables. The destination

@@ -26,6 +26,22 @@
 
 namespace vsmooth {
 
+/**
+ * Sampled-execution metadata attached to a Result: how the run was
+ * produced ("auto"), what fraction of its cycles were simulated at
+ * full fidelity, and per-metric absolute error bounds. A bounds entry
+ * names a metric (or series) of the same Result; compareResults
+ * treats bound-annotated names as tolerance-checked (abs = bound,
+ * rel = 0) instead of exact, and fails structurally on a bound that
+ * is non-finite or names nothing.
+ */
+struct ResultSampling
+{
+    std::string mode = "auto";
+    double simulatedFraction = 1.0;
+    std::vector<std::pair<std::string, double>> bounds;
+};
+
 /** One experiment's machine-readable outcome. */
 class Result
 {
@@ -57,6 +73,18 @@ class Result
     const std::string &simd() const { return simd_; }
     void setSimd(std::string s) { simd_ = std::move(s); }
 
+    /** Sampled-execution metadata (absent unless the producing run
+     *  used sampling; absent results serialize without the key, so
+     *  pre-existing goldens stay byte-stable). */
+    bool hasSampling() const { return hasSampling_; }
+    const ResultSampling &sampling() const { return sampling_; }
+    void
+    setSampling(ResultSampling s)
+    {
+        sampling_ = std::move(s);
+        hasSampling_ = true;
+    }
+
     /** Append (or overwrite) a named scalar metric. */
     void metric(std::string_view name, double value);
     /** Append (or overwrite) a named numeric series. */
@@ -84,6 +112,8 @@ class Result
     std::string simd_;
     std::uint64_t seed_ = 1;
     std::uint64_t jobs_ = 1;
+    bool hasSampling_ = false;
+    ResultSampling sampling_;
     std::vector<std::pair<std::string, double>> metrics_;
     std::vector<std::pair<std::string, std::vector<double>>> series_;
 };

@@ -35,6 +35,19 @@ class Scope
     /** Merge another scope's samples (multi-run aggregation). */
     void merge(const Scope &other) { histogram_.merge(other.histogram_); }
 
+    /**
+     * Record `weight` extrapolated replays of an already-captured
+     * sample window (sampled execution). Mass conservation is exact:
+     * the histogram total grows by weight * window total. The window
+     * was itself recorded here cycle by cycle, so its extremes are
+     * already reflected in minSample()/maxSample().
+     */
+    void
+    recordExtrapolated(const Histogram &window, std::uint64_t weight)
+    {
+        histogram_.mergeScaled(window, weight);
+    }
+
     const Histogram &histogram() const { return histogram_; }
 
     /** Largest droop seen, as a positive fraction (e.g. 0.096). */

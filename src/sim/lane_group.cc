@@ -61,9 +61,12 @@ LaneGroup::run(std::vector<LanePlan> &plans)
             // Plans the fused kernel cannot express take the existing
             // standalone paths unchanged: per-cycle feedback consumers
             // (blockEligible_ is false), systems wider than the kernel's
-            // core arrays, and the degenerate one-lane group.
+            // core arrays, the degenerate one-lane group, and sampled
+            // runs (the lockstep kernel drives tickBlock directly and
+            // would silently bypass the PhaseSampler; run() engages it).
             if (!sys.blockEligible_ || width_ == 1 ||
-                sys.cores_.size() > simd::kMaxLaneCores) {
+                sys.cores_.size() > simd::kMaxLaneCores ||
+                sys.samplingWanted()) {
                 runSolo(plan);
                 continue;
             }

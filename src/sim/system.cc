@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string_view>
 
 #include "common/logging.hh"
 
@@ -26,6 +27,19 @@ scalarTickForced()
         return e && *e && *e != '0';
     }();
     return forced;
+}
+
+/** Resolve the Env sampling mode from VSMOOTH_SAMPLING. Read per
+ *  System start (not cached): benchmarks toggle it between runs
+ *  within one process. */
+bool
+samplingEnvAuto()
+{
+    const char *e = std::getenv("VSMOOTH_SAMPLING");
+    if (!e || !*e)
+        return false;
+    const std::string_view v(e);
+    return v == "auto" || v == "on" || v == "1";
 }
 
 } // namespace
@@ -126,6 +140,22 @@ System::start()
         blockTotal_.resize(kBlockCycles);
         blockDeviation_.resize(kBlockCycles);
     }
+    if (samplingWanted())
+        sampler_ = std::make_unique<PhaseSampler>(*this, cfg_.sampling);
+}
+
+bool
+System::samplingWanted() const
+{
+    // Sampled execution engages only with the block pipeline active
+    // (its windows are built from full blocks) and no trace consumer
+    // (a waveform trace cannot be extrapolated soundly — skipped
+    // cycles have no waveform).
+    const bool wantSampling =
+        cfg_.sampling.mode == SamplingConfig::Mode::Auto ||
+        (cfg_.sampling.mode == SamplingConfig::Mode::Env &&
+         samplingEnvAuto());
+    return wantSampling && blockEligible_ && !trace_;
 }
 
 void
@@ -326,6 +356,10 @@ System::run(Cycles n)
     if (n == 0)
         return;
     start();
+    if (sampler_) {
+        sampler_->run(n);
+        return;
+    }
     Cycles remaining = n;
     while (remaining > 0) {
         const Cycles blk = blockLimit(remaining);

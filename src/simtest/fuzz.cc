@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string_view>
 
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -251,11 +252,26 @@ int
 runFuzz(const FuzzOptions &opt)
 {
     if (opt.listProperties) {
-        TextTable t("registered properties");
-        t.setHeader({"property", "checks"});
-        for (const Property &p : propertyRegistry())
-            t.addRow({p.name, p.summary});
-        t.print(std::cout);
+        // One table per subsystem (groups in first-appearance order,
+        // registry order within), with each property's extra
+        // generator parameter ranges alongside its invariant.
+        std::vector<std::string_view> groups;
+        for (const Property &p : propertyRegistry()) {
+            if (std::find(groups.begin(), groups.end(),
+                          std::string_view(p.subsystem)) == groups.end())
+                groups.push_back(p.subsystem);
+        }
+        for (std::string_view g : groups) {
+            TextTable t("properties: " + std::string(g));
+            t.setHeader({"property", "checks", "parameter ranges"});
+            for (const Property &p : propertyRegistry()) {
+                if (std::string_view(p.subsystem) != g)
+                    continue;
+                t.addRow({p.name, p.summary,
+                          p.params ? p.params : "-"});
+            }
+            t.print(std::cout);
+        }
         return 0;
     }
 

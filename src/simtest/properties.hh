@@ -19,6 +19,10 @@
  *   - pdn_linearity: the second-order PDN is LTI — superposition and
  *     scaling of current stimuli, exact DC gain R·I, and a step
  *     response inside analytic second-order bounds;
+ *   - sampled_within_bounds: phase-sampled execution is
+ *     deterministic, conserves histogram mass, and lands every
+ *     extrapolated metric within the error bound its own report
+ *     declares (bit-identical when nothing was extrapolated);
  *   - histogram_invariants: mass conservation, block/scalar feed
  *     identity, merge commutativity/associativity, and
  *     concatenation == merge;
@@ -49,7 +53,13 @@ namespace vsmooth::simtest {
 struct Property
 {
     const char *name;
+    /** Subsystem the invariant guards — the `fuzz --list` grouping
+     *  key (e.g. "sim/system", "pdn", "common"). */
+    const char *subsystem;
     const char *summary;
+    /** Generator parameter ranges the property draws beyond the
+     *  common FuzzConfig fields (shown by --list; nullptr = none). */
+    const char *params;
     bool (*check)(const FuzzConfig &cfg, std::string *why);
 };
 

@@ -172,9 +172,13 @@ makeSpecPhase(double stallRatio, double memoryBoundness, double ipcRunning,
 cpu::PhaseSchedule
 scheduleFor(const SpecBenchmark &bench, Cycles baseLength, bool loop)
 {
-    const auto total =
-        static_cast<Cycles>(bench.relativeLength *
-                            static_cast<double>(baseLength));
+    // Sub-unit baseLength * relativeLength products truncate to 0;
+    // clamp so every pattern yields valid (nonzero-length) phases —
+    // FastCore rejects zero-length phases, and the sampled-execution
+    // phase detector relies on schedules from here being well-formed.
+    const auto total = std::max<Cycles>(
+        1, static_cast<Cycles>(bench.relativeLength *
+                               static_cast<double>(baseLength)));
     cpu::PhaseSchedule schedule;
     schedule.loop = loop;
 

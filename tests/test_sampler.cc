@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Tests for the phase-sampled execution engine (sim/sampler).
+ *
+ * The load-bearing guarantees: sampling Off is the default and
+ * bit-identical to the pre-sampling simulator; schedules the detector
+ * cannot stabilize on (sub-window phases, single-block phases,
+ * never-settling oscillations) degrade to 100% exact execution and
+ * terminate; when fast-forwards do happen, every extrapolated metric
+ * lands within the error bound the run's own report declares; and the
+ * Result metadata produced from a report round-trips and drives
+ * compareResults' bound-widened tolerance checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/result.hh"
+#include "cpu/fast_core.hh"
+#include "sim/calibration.hh"
+#include "sim/sampler.hh"
+#include "sim/system.hh"
+#include "workload/microbench.hh"
+#include "workload/spec_suite.hh"
+
+using namespace vsmooth;
+using namespace vsmooth::sim;
+
+namespace {
+
+/** Schedule alternating between two activity levels every `per`
+ *  cycles, forever. */
+cpu::PhaseSchedule
+alternating(Cycles per, double loActivity, double hiActivity)
+{
+    cpu::PhaseSchedule s;
+    s.loop = true;
+    cpu::ActivityPhase lo;
+    lo.duration = per;
+    lo.baseActivity = loActivity;
+    cpu::ActivityPhase hi;
+    hi.duration = per;
+    hi.baseActivity = hiActivity;
+    s.phases = {lo, hi};
+    return s;
+}
+
+/** One infinite flat phase (the maximally stationary workload). */
+cpu::PhaseSchedule
+flat(double activity)
+{
+    cpu::PhaseSchedule s;
+    s.loop = true;
+    cpu::ActivityPhase p;
+    p.duration = 1 << 20;
+    p.baseActivity = activity;
+    s.phases = {p};
+    return s;
+}
+
+/** Every observable we demand bit-equality on when the sampler
+ *  reports zero extrapolated cycles. */
+struct Observed
+{
+    Cycles cycles = 0;
+    double deviation = 0.0;
+    double dieVoltage = 0.0;
+    std::uint64_t emergencies = 0;
+    std::uint64_t histTotal = 0;
+    std::uint64_t histUnder = 0;
+    std::uint64_t histOver = 0;
+    double histMin = 0.0;
+    double histMax = 0.0;
+    std::vector<std::uint64_t> bins;
+    std::vector<std::uint64_t> bankEvents;
+    std::vector<std::uint64_t> coreInstr;
+
+    bool operator==(const Observed &) const = default;
+};
+
+Observed
+observe(const System &sys)
+{
+    Observed o;
+    o.cycles = sys.cycles();
+    o.deviation = sys.deviation();
+    o.dieVoltage = sys.dieVoltage();
+    o.emergencies = sys.emergencies();
+    const Histogram &h = sys.scope().histogram();
+    o.histTotal = h.totalCount();
+    o.histUnder = h.underflowCount();
+    o.histOver = h.overflowCount();
+    o.histMin = h.minSample();
+    o.histMax = h.maxSample();
+    for (std::size_t i = 0; i < h.numBins(); ++i)
+        o.bins.push_back(h.binCount(i));
+    const auto &bank = sys.droopBank();
+    for (std::size_t i = 0; i < bank.size(); ++i)
+        o.bankEvents.push_back(bank.detector(i).eventCount());
+    for (std::size_t i = 0; i < sys.numCores(); ++i)
+        o.coreInstr.push_back(sys.core(i).counters().instructions());
+    return o;
+}
+
+/** Run one System over `schedule` with the given sampling mode. */
+std::unique_ptr<System>
+runSystem(const cpu::PhaseSchedule &schedule, SamplingConfig::Mode mode,
+          Cycles n, std::size_t numCores = 2)
+{
+    SystemConfig cfg;
+    cfg.sampling.mode = mode;
+    auto sys = std::make_unique<System>(cfg);
+    for (std::size_t i = 0; i < numCores; ++i)
+        sys->addCore(std::make_unique<cpu::FastCore>(schedule, 7 + i));
+    sys->run(n);
+    return sys;
+}
+
+void
+expectFiniteBounds(const SamplingReport &report)
+{
+    for (const auto &[name, bound] : report.namedBounds()) {
+        EXPECT_TRUE(std::isfinite(bound)) << name;
+        EXPECT_GE(bound, 0.0) << name;
+    }
+    EXPECT_TRUE(std::isfinite(report.simulatedFraction()));
+    EXPECT_GT(report.simulatedFraction(), 0.0);
+    EXPECT_LE(report.simulatedFraction(), 1.0);
+}
+
+} // namespace
+
+TEST(Sampler, EnvModeDefaultsToOff)
+{
+    unsetenv("VSMOOTH_SAMPLING");
+    auto sys = runSystem(flat(0.8), SamplingConfig::Mode::Env, 10'000);
+    EXPECT_FALSE(sys->samplingActive());
+    EXPECT_FALSE(sys->samplingReport().active);
+}
+
+TEST(Sampler, ZeroLengthPhaseInputsAreClamped)
+{
+    // Sub-unit baseLength * relativeLength products used to truncate
+    // to zero-length phases, which FastCore rejects and the phase
+    // detector would mis-measure. scheduleFor clamps; every suite
+    // benchmark must survive the degenerate baseLength and still run
+    // under the sampler without hanging or dying.
+    for (const auto &bench : workload::specCpu2006()) {
+        const cpu::PhaseSchedule s =
+            workload::scheduleFor(bench, 1, true);
+        ASSERT_FALSE(s.phases.empty()) << bench.name;
+        for (const auto &p : s.phases)
+            EXPECT_GE(p.duration, 1u) << bench.name;
+    }
+    const cpu::PhaseSchedule tiny = workload::scheduleFor(
+        workload::specByName("tonto"), 1, true);
+    auto sys = runSystem(tiny, SamplingConfig::Mode::Auto, 50'000);
+    EXPECT_EQ(sys->cycles(), 50'000u);
+    EXPECT_EQ(sys->scope().histogram().totalCount(), 50'000u);
+}
+
+TEST(Sampler, NeverStabilizingScheduleStaysExact)
+{
+    // Phases far shorter than one detector window (8 blocks = 2048
+    // cycles): every window straddles a phase change, so no window
+    // ever matches the reference and no skip is ever planned. The
+    // run must terminate, execute 100% exactly, and be bit-identical
+    // to sampling Off.
+    const cpu::PhaseSchedule osc = alternating(137, 0.15, 0.9);
+    auto exact = runSystem(osc, SamplingConfig::Mode::Off, 100'000);
+    auto sampled = runSystem(osc, SamplingConfig::Mode::Auto, 100'000);
+
+    ASSERT_TRUE(sampled->samplingActive());
+    const SamplingReport report = sampled->samplingReport();
+    EXPECT_EQ(report.skips, 0u);
+    EXPECT_EQ(report.extrapolatedCycles, 0u);
+    EXPECT_EQ(report.simulatedFraction(), 1.0);
+    EXPECT_EQ(observe(*exact), observe(*sampled));
+}
+
+TEST(Sampler, SingleBlockPhasesStayExact)
+{
+    // Phase length exactly one block: the detector sees a different
+    // activity mix every block, so windows never stabilize.
+    const cpu::PhaseSchedule osc =
+        alternating(System::kBlockCycles, 0.2, 0.85);
+    auto exact = runSystem(osc, SamplingConfig::Mode::Off, 80'000);
+    auto sampled = runSystem(osc, SamplingConfig::Mode::Auto, 80'000);
+
+    const SamplingReport report = sampled->samplingReport();
+    EXPECT_EQ(report.extrapolatedCycles, 0u);
+    EXPECT_EQ(observe(*exact), observe(*sampled));
+}
+
+TEST(Sampler, PhaseChangeAfterStabilizationRecovers)
+{
+    // Phases of ~6 windows: long enough for the detector to
+    // stabilize and start skipping, short enough that every phase
+    // ends mid-stride — including inside a planned skip's guard
+    // window. The run must re-detect each phase, never lose cycles
+    // or histogram mass, and keep every declared bound finite.
+    const cpu::PhaseSchedule osc = alternating(12'288, 0.25, 0.8);
+    auto sampled = runSystem(osc, SamplingConfig::Mode::Auto, 400'000);
+
+    EXPECT_EQ(sampled->cycles(), 400'000u);
+    EXPECT_EQ(sampled->scope().histogram().totalCount(), 400'000u);
+    expectFiniteBounds(sampled->samplingReport());
+}
+
+TEST(Sampler, FlatWorkloadFastForwardsWithinBounds)
+{
+    // A noise-free synthetic phase can park the deviation inside a
+    // detector guard band forever (skips are soundly postponed); the
+    // flat sphinx workload has realistic stall noise and is the
+    // steady-state fixture the population benches fast-forward.
+    const Cycles n = 2'000'000;
+    const cpu::PhaseSchedule work =
+        workload::scheduleFor(workload::specByName("sphinx"), n, true);
+    const cpu::PhaseSchedule idle = workload::idleSchedule(1000);
+    auto runPair = [&](SamplingConfig::Mode mode) {
+        SystemConfig cfg;
+        cfg.sampling.mode = mode;
+        auto sys = std::make_unique<System>(cfg);
+        sys->addCore(std::make_unique<cpu::FastCore>(work, 2));
+        sys->addCore(std::make_unique<cpu::FastCore>(idle, 3));
+        sys->run(n);
+        return sys;
+    };
+    auto exact = runPair(SamplingConfig::Mode::Off);
+    auto sampled = runPair(SamplingConfig::Mode::Auto);
+
+    ASSERT_TRUE(sampled->samplingActive());
+    const SamplingReport report = sampled->samplingReport();
+    EXPECT_GT(report.skips, 0u);
+    EXPECT_GT(report.extrapolatedCycles, 0u);
+    EXPECT_LT(report.simulatedFraction(), 1.0);
+    expectFiniteBounds(report);
+
+    // Cycle accounting and histogram mass are exact, never estimated.
+    EXPECT_EQ(sampled->cycles(), n);
+    EXPECT_EQ(report.simulatedCycles + report.extrapolatedCycles, n);
+    EXPECT_EQ(sampled->scope().histogram().totalCount(), n);
+
+    // Extrapolated metrics land within the report's own bounds.
+    EXPECT_LE(std::abs(sampled->scope().maxDroop() -
+                       exact->scope().maxDroop()),
+              report.maxDroopBound);
+    EXPECT_LE(std::abs(sampled->scope().maxOvershoot() -
+                       exact->scope().maxOvershoot()),
+              report.maxOvershootBound);
+    EXPECT_LE(std::abs(sampled->scope().fractionBelow(-kIdleMargin) -
+                       exact->scope().fractionBelow(-kIdleMargin)),
+              report.histFractionBound);
+    const auto &eb = exact->droopBank();
+    const auto &sb = sampled->droopBank();
+    ASSERT_EQ(eb.size(), sb.size());
+    for (std::size_t i = 0; i < eb.size(); ++i) {
+        const double de =
+            static_cast<double>(sb.detector(i).eventCount()) -
+            static_cast<double>(eb.detector(i).eventCount());
+        EXPECT_LE(std::abs(de), report.eventCountBound) << i;
+    }
+}
+
+TEST(Sampler, SampledRunsAreDeterministic)
+{
+    const cpu::PhaseSchedule work =
+        workload::scheduleFor(workload::specByName("sphinx"),
+                              200'000, true);
+    auto a = runSystem(work, SamplingConfig::Mode::Auto, 1'000'000);
+    auto b = runSystem(work, SamplingConfig::Mode::Auto, 1'000'000);
+    EXPECT_EQ(observe(*a), observe(*b));
+    EXPECT_EQ(a->samplingReport().skips, b->samplingReport().skips);
+}
+
+TEST(Sampler, ReportMergeCombinesPopulations)
+{
+    SamplingReport a;
+    a.active = true;
+    a.simulatedCycles = 600;
+    a.extrapolatedCycles = 400;
+    a.skips = 3;
+    a.maxDroopBound = 0.01;
+    a.eventCountBound = 5.0;
+    SamplingReport b;
+    b.active = true;
+    b.simulatedCycles = 1000;
+    b.skips = 1;
+    b.maxDroopBound = 0.03;
+    b.eventCountBound = 2.0;
+
+    a.merge(b);
+    EXPECT_EQ(a.simulatedCycles, 1600u);
+    EXPECT_EQ(a.extrapolatedCycles, 400u);
+    EXPECT_EQ(a.skips, 4u);
+    // Extremes take the worst contributor; counts sum their errors.
+    EXPECT_DOUBLE_EQ(a.maxDroopBound, 0.03);
+    EXPECT_DOUBLE_EQ(a.eventCountBound, 7.0);
+    EXPECT_DOUBLE_EQ(a.simulatedFraction(), 0.8);
+
+    // Merging an inactive (exact) run is a no-op on the bounds.
+    SamplingReport exact;
+    exact.simulatedCycles = 1000;
+    a.merge(exact);
+    EXPECT_TRUE(a.active);
+    EXPECT_DOUBLE_EQ(a.maxDroopBound, 0.03);
+}
+
+TEST(Sampler, ResultSamplingKeyOmittedWhenAbsent)
+{
+    Result r("exp");
+    r.metric("m", 1.0);
+    EXPECT_FALSE(r.hasSampling());
+    EXPECT_EQ(r.toJson().find("sampling"), nullptr);
+
+    Result back;
+    std::string error;
+    ASSERT_TRUE(Result::fromJson(r.toJson(), back, &error)) << error;
+    EXPECT_FALSE(back.hasSampling());
+}
+
+TEST(Sampler, ResultSamplingMetadataRoundTrips)
+{
+    Result r("exp");
+    r.metric("max_droop_pct", 6.5);
+    ResultSampling s;
+    s.mode = "auto";
+    s.simulatedFraction = 0.125;
+    s.bounds = {{"max_droop_pct", 0.2}};
+    r.setSampling(s);
+
+    Result back;
+    std::string error;
+    ASSERT_TRUE(Result::fromJson(r.toJson(), back, &error)) << error;
+    ASSERT_TRUE(back.hasSampling());
+    EXPECT_EQ(back.sampling().mode, "auto");
+    EXPECT_DOUBLE_EQ(back.sampling().simulatedFraction, 0.125);
+    ASSERT_EQ(back.sampling().bounds.size(), 1u);
+    EXPECT_EQ(back.sampling().bounds[0].first, "max_droop_pct");
+    EXPECT_DOUBLE_EQ(back.sampling().bounds[0].second, 0.2);
+}
+
+TEST(Sampler, CompareResultsWidensToleranceToDeclaredBound)
+{
+    Result golden("exp");
+    golden.metric("max_droop_pct", 6.0);
+    Result actual("exp");
+    actual.metric("max_droop_pct", 6.4);
+
+    // Exact comparison fails...
+    EXPECT_FALSE(compareResults(golden, actual).pass);
+
+    // ...but a declared bound covering the delta passes,
+    ResultSampling s;
+    s.simulatedFraction = 0.3;
+    s.bounds = {{"max_droop_pct", 0.5}};
+    actual.setSampling(s);
+    EXPECT_TRUE(compareResults(golden, actual).pass);
+
+    // and a bound smaller than the delta still fails.
+    s.bounds = {{"max_droop_pct", 0.1}};
+    actual.setSampling(s);
+    EXPECT_FALSE(compareResults(golden, actual).pass);
+}
+
+TEST(Sampler, CompareResultsRejectsBrokenBounds)
+{
+    Result golden("exp");
+    golden.metric("m", 1.0);
+
+    // Non-finite bound: structural failure, never a widened pass.
+    Result actual("exp");
+    actual.metric("m", 1.0);
+    ResultSampling s;
+    s.bounds = {{"m", std::numeric_limits<double>::infinity()}};
+    actual.setSampling(s);
+    auto report = compareResults(golden, actual);
+    EXPECT_FALSE(report.pass);
+    ASSERT_FALSE(report.diffs.empty());
+    EXPECT_NE(report.diffs[0].note.find("non-finite"),
+              std::string::npos);
+
+    // A bound naming no metric or series: the producer is broken.
+    Result dangling("exp");
+    dangling.metric("m", 1.0);
+    ResultSampling d;
+    d.bounds = {{"no_such_metric", 0.1}};
+    dangling.setSampling(d);
+    report = compareResults(golden, dangling);
+    EXPECT_FALSE(report.pass);
+    ASSERT_FALSE(report.diffs.empty());
+    EXPECT_NE(report.diffs[0].note.find("annotates no metric"),
+              std::string::npos);
+}

@@ -224,8 +224,8 @@ TEST(Shrink, MinimizesSyntheticFailure)
     failing.jobs = 6;
     failing.seed = 424'242;
 
-    const Property synthetic{"synthetic_cycles", "test-only",
-                             holdsBelow100Cycles};
+    const Property synthetic{"synthetic_cycles", "test", "test-only",
+                             nullptr, holdsBelow100Cycles};
     ASSERT_FALSE(synthetic.check(failing, nullptr));
 
     const ShrinkOutcome out = shrinkConfig(failing, synthetic);
@@ -258,7 +258,7 @@ TEST(Shrink, PassingReductionsAreRejected)
     // A property that fails only with >= 2 cores: the shrinker must
     // keep the second core (dropping it would make the config pass).
     const Property needsTwoCores{
-        "synthetic_cores", "test-only",
+        "synthetic_cores", "test", "test-only", nullptr,
         [](const FuzzConfig &cfg, std::string *) {
             return cfg.cores.size() < 2;
         }};

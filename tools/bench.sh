@@ -15,6 +15,9 @@
 #     ratio is the scenario-lane SIMD speedup (lanes=1 runs every
 #     scenario through the pre-lane solo path, i.e. the PR 3
 #     baseline execution).
+#   BENCH_pr6*.json — BM_PopulationSampled with sampling off vs auto
+#     on a 120M-cycle population of long flat workloads; the off vs
+#     auto ratio is the phase-sampled execution speedup.
 #
 # Shared CI runners are noisy (run-to-run swings of 15-20%), so each
 # benchmark runs several repetitions with random interleaving and the
@@ -29,6 +32,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 case "$(basename "${OUT_JSON}")" in
     BENCH_pr5*) FILTER='Laned' ;;
+    BENCH_pr6*) FILTER='BM_PopulationSampled' ;;
     *)          FILTER='BM_SystemTick' ;;
 esac
 
@@ -65,4 +69,10 @@ for bench in ("BM_PopulationLaned", "BM_OracleMatrixLaned"):
         if wide:
             print(f"{bench}: lanes=1 -> lanes={width} "
                   f"speedup {wide / one:.2f}x (median of 5)")
+off = rates.get("BM_PopulationSampled/0/real_time_median")
+auto_ = rates.get("BM_PopulationSampled/1/real_time_median")
+if off and auto_:
+    print(f"exact execution:   {off / 1e6:.2f}M cycles/s (median of 5)")
+    print(f"sampled execution: {auto_ / 1e6:.2f}M cycles/s (median of 5)")
+    print(f"speedup:           {auto_ / off:.2f}x")
 EOF

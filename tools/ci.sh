@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Full CI pass: configure, build, unit tests, golden-result
 # regression, a ThreadSanitizer smoke of the parallel sweep engine,
-# an ASan+UBSan property-fuzzing smoke (including a dedicated
-# scenario-lane equivalence pass), and a clean-work-tree check. Run
-# from the repository root:
+# an ASan+UBSan property-fuzzing smoke (including dedicated
+# scenario-lane equivalence and sampled-execution bound passes), and a
+# clean-work-tree check. Run from the repository root:
 #
 #   tools/ci.sh [build-dir]
 #
@@ -64,6 +64,19 @@ echo "== ASan+UBSan fuzz: scenario-lane vs solo equivalence, 2000 configs =="
 "${FUZZ_DIR}/src/tools/vsmooth" fuzz --seed 1 --iters 2000 \
       --properties laned_vs_scalar \
       --summary "${FUZZ_DIR}/fuzz-laned-summary.json"
+
+echo "== ASan+UBSan fuzz: sampled execution within bounds, 2000 configs =="
+# Dedicated deep pass over the sampled_within_bounds property: every
+# random config runs exactly and phase-sampled, and each extrapolated
+# metric must land within the error bound the sampled run's own report
+# declares (bit-identical whenever nothing was extrapolated), with the
+# sanitizers watching the window accounting and fast-forward paths.
+"${FUZZ_DIR}/src/tools/vsmooth" fuzz --seed 1 --iters 2000 \
+      --properties sampled_within_bounds \
+      --summary "${FUZZ_DIR}/fuzz-sampled-summary.json"
+
+echo "== bench: phase-sampled long-horizon sweep throughput =="
+tools/bench.sh "${BUILD_DIR}" "${BUILD_DIR}/BENCH_pr6.json"
 
 echo "== work tree must be clean after a full build+test cycle =="
 # Everything CI produces belongs in the ignored build*/ trees; a
