@@ -1,0 +1,49 @@
+#include "fsio.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace vsmooth {
+
+bool
+writeFileAtomic(const std::string &path,
+                const std::function<bool(std::ostream &)> &writer,
+                std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+
+    // The pid suffix keeps concurrent updaters off each other's temp
+    // files; same-directory placement keeps the rename atomic (no
+    // cross-filesystem fallback copy).
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return fail("cannot open temp file '" + tmp + "'");
+        if (!writer(os)) {
+            os.close();
+            std::remove(tmp.c_str());
+            return fail("writer aborted for '" + path + "'");
+        }
+        os.flush();
+        if (!os.good()) {
+            os.close();
+            std::remove(tmp.c_str());
+            return fail("write error on temp file '" + tmp + "'");
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return fail("cannot rename '" + tmp + "' over '" + path + "'");
+    }
+    return true;
+}
+
+} // namespace vsmooth

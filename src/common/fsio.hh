@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Small filesystem helpers shared by the CLI tools.
+ *
+ * The one that matters is writeFileAtomic: golden baselines and other
+ * checked-in artifacts must never be half-written — a Ctrl-C (or a
+ * crashing writer) in the middle of `vsmooth verify --update` used to
+ * leave a truncated golden in place, which the next verify run then
+ * reported as unparseable drift. Writing to a temp file in the same
+ * directory and rename(2)-ing over the target makes the replacement
+ * all-or-nothing.
+ */
+
+#ifndef VSMOOTH_COMMON_FSIO_HH
+#define VSMOOTH_COMMON_FSIO_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace vsmooth {
+
+/**
+ * Atomically replace (or create) `path` with content produced by
+ * `writer`. The writer streams into a `<path>.tmp.<pid>` sibling; only
+ * after it returns true and every byte is flushed is the temp file
+ * renamed over `path`. On any failure — temp unopenable, writer
+ * returned false, flush error, rename error — the original file is
+ * left untouched and the temp file is removed.
+ *
+ * Returns true on success; on failure stores a human-readable message
+ * in `*error` when given.
+ */
+bool writeFileAtomic(const std::string &path,
+                     const std::function<bool(std::ostream &)> &writer,
+                     std::string *error = nullptr);
+
+} // namespace vsmooth
+
+#endif // VSMOOTH_COMMON_FSIO_HH

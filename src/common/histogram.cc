@@ -191,6 +191,43 @@ Histogram::fractionBelow(double x) const
 }
 
 double
+Histogram::fractionAtOrAbove(double x) const
+{
+    if (total_ == 0)
+        return 0.0;
+    if (x <= lo_) {
+        // Underflow mass sits below lo_ at unknown positions; it is at
+        // or above x only when x does not exceed the tracked minimum
+        // (the mirror of fractionBelow's convention).
+        return x > min_
+            ? static_cast<double>(total_ - underflow_) /
+                static_cast<double>(total_)
+            : 1.0;
+    }
+    if (x >= hi_) {
+        // The whole tail is the overflow bucket: one integer count,
+        // one division — exact to the half-ulp, however deep the tail.
+        return x > max_
+            ? 0.0
+            : static_cast<double>(overflow_) /
+                static_cast<double>(total_);
+    }
+    const std::size_t idx = binIndex(x);
+    std::uint64_t above = overflow_;
+    for (std::size_t i = idx + 1; i < counts_.size(); ++i)
+        above += counts_[i];
+    // The boundary bin contributes the complement of fractionBelow's
+    // within-bin interpolation, applied to that bin's count alone —
+    // small numbers throughout, so no large-minus-large cancellation.
+    const double frac_in_bin =
+        (x - (lo_ + static_cast<double>(idx) * width_)) / width_;
+    const double partial =
+        (1.0 - frac_in_bin) * static_cast<double>(counts_[idx]);
+    return (static_cast<double>(above) + partial) /
+        static_cast<double>(total_);
+}
+
+double
 Histogram::quantile(double q) const
 {
     if (total_ == 0)

@@ -118,8 +118,15 @@ class Histogram
 
     /** Fraction of samples strictly below x (bin-resolution accurate). */
     double fractionBelow(double x) const;
-    /** Fraction of samples at or above x. */
-    double fractionAtOrAbove(double x) const { return 1.0 - fractionBelow(x); }
+    /**
+     * Fraction of samples at or above x, computed directly from the
+     * at-or-above bin counts plus the overflow bucket — never as
+     * 1.0 - fractionBelow(x), which catastrophically cancels for the
+     * deep-tail queries droop-margin CDFs serve (a 1e-12 tail of a
+     * billion-sample histogram would come back with only ~4 correct
+     * digits).
+     */
+    double fractionAtOrAbove(double x) const;
 
     /**
      * Inverse CDF: smallest bin center v such that at least fraction q

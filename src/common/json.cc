@@ -1,6 +1,7 @@
 #include "json.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +25,43 @@ Json::asNumber() const
     if (type_ != Type::Number)
         panic("Json: not a number");
     return num_;
+}
+
+bool
+Json::exactUint64(std::uint64_t *out) const
+{
+    if (type_ != Type::Number)
+        return false;
+    switch (numKind_) {
+      case NumKind::Uint:
+        *out = uint_;
+        return true;
+      case NumKind::Int:
+        if (int_ < 0)
+            return false;
+        *out = static_cast<std::uint64_t>(int_);
+        return true;
+      case NumKind::Double:
+        // A double carries an exact integer only up to 2^53; beyond
+        // that the low bits are already gone and no cast recovers
+        // them.
+        if (!(num_ >= 0.0) || num_ != std::floor(num_) ||
+            num_ > 9007199254740992.0) {
+            return false;
+        }
+        *out = static_cast<std::uint64_t>(num_);
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+Json::asUint64() const
+{
+    std::uint64_t v = 0;
+    if (!exactUint64(&v))
+        panic("Json: number has no exact uint64 value");
+    return v;
 }
 
 const std::string &
@@ -163,7 +201,22 @@ Json::writeValue(std::ostream &os, int indent, int depth) const
         os << (bool_ ? "true" : "false");
         break;
       case Type::Number:
-        writeNumber(os, num_);
+        // Integer-kind numbers print all 64 bits exactly; the decimal
+        // text matches what %.0f produced for the same values when
+        // they fit a double, so pre-existing files stay byte-stable.
+        if (numKind_ == NumKind::Uint) {
+            char buf[24];
+            std::snprintf(buf, sizeof(buf), "%llu",
+                          static_cast<unsigned long long>(uint_));
+            os << buf;
+        } else if (numKind_ == NumKind::Int) {
+            char buf[24];
+            std::snprintf(buf, sizeof(buf), "%lld",
+                          static_cast<long long>(int_));
+            os << buf;
+        } else {
+            writeNumber(os, num_);
+        }
         break;
       case Type::String:
         writeEscaped(os, str_);
@@ -392,6 +445,25 @@ class Parser
         if (tok.empty() || end != tok.c_str() + tok.size()) {
             fail("bad number '" + tok + "'");
             return Json();
+        }
+        // A pure integer token keeps its exact 64-bit value (counters
+        // above 2^53 must not detour through a double). "-0" stays a
+        // double so it round-trips as written, and tokens beyond the
+        // 64-bit ranges fall back to the double approximation.
+        if (tok.find_first_of(".eE") == std::string::npos) {
+            errno = 0;
+            if (tok[0] == '-') {
+                const long long i = std::strtoll(tok.c_str(), &end, 10);
+                if (errno == 0 && end == tok.c_str() + tok.size() &&
+                    i != 0) {
+                    return Json(static_cast<std::int64_t>(i));
+                }
+            } else {
+                const unsigned long long u =
+                    std::strtoull(tok.c_str(), &end, 10);
+                if (errno == 0 && end == tok.c_str() + tok.size())
+                    return Json(static_cast<std::uint64_t>(u));
+            }
         }
         return Json(v);
     }

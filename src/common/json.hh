@@ -6,7 +6,10 @@
  * machine-readable record of its paper observables, and `vsmooth
  * verify` reads those records back and diffs them against checked-in
  * goldens. Objects preserve insertion order so emitted files are
- * stable and diffable; doubles round-trip exactly (%.17g).
+ * stable and diffable; doubles round-trip exactly (%.17g), and
+ * integer tokens round-trip as exact 64-bit integers — a uint64 cycle
+ * count or histogram mass above 2^53 never loses low bits to a double
+ * detour.
  */
 
 #ifndef VSMOOTH_COMMON_JSON_HH
@@ -23,8 +26,15 @@
 namespace vsmooth {
 
 /**
- * A JSON value: null, bool, number (double), string, array, or
- * object. Objects keep their members in insertion order.
+ * A JSON value: null, bool, number, string, array, or object.
+ * Objects keep their members in insertion order.
+ *
+ * Numbers carry a kind: integer-constructed values (and parsed
+ * integer tokens that fit) are stored as exact int64/uint64 and
+ * serialize as integer tokens, so 64-bit counters survive a
+ * write/parse round trip bit-for-bit. asNumber() still works on any
+ * number (integers convert, possibly with the usual > 2^53 rounding);
+ * the exact accessors recover the integer losslessly.
  */
 class Json
 {
@@ -37,9 +47,15 @@ class Json
     Json() : type_(Type::Null) {}
     Json(bool b) : type_(Type::Bool), bool_(b) {}
     Json(double d) : type_(Type::Number), num_(d) {}
-    Json(int i) : type_(Type::Number), num_(i) {}
+    Json(int i)
+        : type_(Type::Number), numKind_(NumKind::Int),
+          num_(static_cast<double>(i)), int_(i) {}
+    Json(std::int64_t i)
+        : type_(Type::Number), numKind_(NumKind::Int),
+          num_(static_cast<double>(i)), int_(i) {}
     Json(std::uint64_t u)
-        : type_(Type::Number), num_(static_cast<double>(u)) {}
+        : type_(Type::Number), numKind_(NumKind::Uint),
+          num_(static_cast<double>(u)), uint_(u) {}
     Json(const char *s) : type_(Type::String), str_(s) {}
     Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
 
@@ -55,12 +71,33 @@ class Json
     bool isArray() const { return type_ == Type::Array; }
     bool isObject() const { return type_ == Type::Object; }
 
+    /** Number stored as an exact non-negative 64-bit integer. */
+    bool isUint() const
+    {
+        return type_ == Type::Number && numKind_ == NumKind::Uint;
+    }
+    /** Number stored as an exact signed 64-bit integer. */
+    bool isInt() const
+    {
+        return type_ == Type::Number && numKind_ == NumKind::Int;
+    }
+
     /** Typed accessors; panic on type mismatch. */
     bool asBool() const;
     double asNumber() const;
     const std::string &asString() const;
     const Array &asArray() const;
     const Object &asObject() const;
+
+    /**
+     * Exact uint64 of this number, when it has one: an integer-kind
+     * value in range, or a double that is integral and exactly
+     * representable (|d| <= 2^53). Returns false otherwise — never a
+     * silently rounded value.
+     */
+    bool exactUint64(std::uint64_t *out) const;
+    /** exactUint64 or panic — for values already validated. */
+    std::uint64_t asUint64() const;
 
     /** Append to an array value (panics if not an array). */
     void push(Json v);
@@ -83,11 +120,16 @@ class Json
     static Json parse(std::string_view text, std::string *error = nullptr);
 
   private:
+    enum class NumKind { Double, Int, Uint };
+
     void writeValue(std::ostream &os, int indent, int depth) const;
 
     Type type_;
+    NumKind numKind_ = NumKind::Double;
     bool bool_ = false;
     double num_ = 0.0;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
     std::string str_;
     Array arr_;
     Object obj_;

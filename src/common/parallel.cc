@@ -93,6 +93,7 @@ class ThreadPool
         nextChunk_ = 0;
         activeChunks_ = 0;
         error_ = nullptr;
+        errorChunk_ = kNoChunk;
         spawnWorkers(chunks - 1);
         ++generation_;
         const std::uint64_t gen = generation_;
@@ -175,8 +176,15 @@ class ThreadPool
                     (*fn)(i);
             } catch (...) {
                 std::lock_guard lk(m_);
-                if (!error_)
+                // Keep the exception from the lowest-indexed throwing
+                // chunk, not whichever thread reached this line first:
+                // every in-flight chunk drains before the caller
+                // rethrows, so the winner is deterministic no matter
+                // how threads are scheduled.
+                if (!error_ || chunk < errorChunk_) {
                     error_ = std::current_exception();
+                    errorChunk_ = chunk;
+                }
                 nextChunk_ = chunks_; // abandon undispatched chunks
             }
             std::lock_guard lk(m_);
@@ -203,6 +211,7 @@ class ThreadPool
     std::size_t nextChunk_ = 0;
     std::size_t activeChunks_ = 0;
     std::exception_ptr error_;
+    std::size_t errorChunk_ = kNoChunk; // chunk index that set error_
 };
 
 } // namespace

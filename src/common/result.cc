@@ -11,6 +11,13 @@ namespace vsmooth {
 void
 Result::metric(std::string_view name, double value)
 {
+    // Overwriting with a plain double demotes a former count metric.
+    for (auto it = counts_.begin(); it != counts_.end(); ++it) {
+        if (it->first == name) {
+            counts_.erase(it);
+            break;
+        }
+    }
     for (auto &[n, v] : metrics_) {
         if (n == name) {
             v = value;
@@ -18,6 +25,33 @@ Result::metric(std::string_view name, double value)
         }
     }
     metrics_.emplace_back(std::string(name), value);
+}
+
+void
+Result::metricCount(std::string_view name, std::uint64_t value)
+{
+    metric(name, static_cast<double>(value));
+    counts_.emplace_back(std::string(name), value);
+}
+
+bool
+Result::hasCount(std::string_view name) const
+{
+    for (const auto &[n, v] : counts_) {
+        if (n == name)
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+Result::countValue(std::string_view name) const
+{
+    for (const auto &[n, v] : counts_) {
+        if (n == name)
+            return v;
+    }
+    panic("Result: no count metric '%s'", std::string(name).c_str());
 }
 
 void
@@ -71,8 +105,10 @@ Result::toJson() const
     Json j = Json::object();
     j.set("experiment", experiment_);
     j.set("git", git_);
-    j.set("seed", Json(static_cast<double>(seed_)));
-    j.set("jobs", Json(static_cast<double>(jobs_)));
+    // Integer tokens: byte-identical to the old %.0f form for every
+    // value that fits a double, exact for full-64-bit seeds/counters.
+    j.set("seed", Json(seed_));
+    j.set("jobs", Json(jobs_));
     // Omitted when not recorded, which keeps pre-existing goldens
     // (and their round-trip tests) byte-stable.
     if (!simd_.empty())
@@ -88,8 +124,12 @@ Result::toJson() const
         j.set("sampling", std::move(sj));
     }
     Json m = Json::object();
-    for (const auto &[n, v] : metrics_)
-        m.set(n, Json(v));
+    for (const auto &[n, v] : metrics_) {
+        if (hasCount(n))
+            m.set(n, Json(countValue(n)));
+        else
+            m.set(n, Json(v));
+    }
     j.set("metrics", std::move(m));
     Json s = Json::object();
     for (const auto &[n, vs] : series_) {
@@ -118,10 +158,18 @@ Result::fromJson(const Json &j, Result &out, std::string *error)
     out = Result(exp->asString());
     if (const Json *git = j.find("git"); git && git->isString())
         out.setGitDescribe(git->asString());
-    if (const Json *seed = j.find("seed"); seed && seed->isNumber())
-        out.setSeed(static_cast<std::uint64_t>(seed->asNumber()));
-    if (const Json *jobs = j.find("jobs"); jobs && jobs->isNumber())
-        out.setJobs(static_cast<std::uint64_t>(jobs->asNumber()));
+    if (const Json *seed = j.find("seed"); seed && seed->isNumber()) {
+        std::uint64_t v = 0;
+        out.setSeed(seed->exactUint64(&v)
+                        ? v
+                        : static_cast<std::uint64_t>(seed->asNumber()));
+    }
+    if (const Json *jobs = j.find("jobs"); jobs && jobs->isNumber()) {
+        std::uint64_t v = 0;
+        out.setJobs(jobs->exactUint64(&v)
+                        ? v
+                        : static_cast<std::uint64_t>(jobs->asNumber()));
+    }
     if (const Json *simd = j.find("simd"); simd && simd->isString())
         out.setSimd(simd->asString());
     if (const Json *sj = j.find("sampling")) {
@@ -151,7 +199,14 @@ Result::fromJson(const Json &j, Result &out, std::string *error)
         for (const auto &[name, v] : m->asObject()) {
             if (!v.isNumber())
                 return fail("metric '" + name + "' is not a number");
-            out.metric(name, v.asNumber());
+            // A non-negative integer token is a count metric: its
+            // exact 64-bit value survives the round trip and compares
+            // exactly. Everything else stays a tolerance-checked
+            // double.
+            if (v.isUint())
+                out.metricCount(name, v.asUint64());
+            else
+                out.metric(name, v.asNumber());
         }
     }
     if (const Json *s = j.find("series")) {
@@ -175,6 +230,15 @@ Result::fromJson(const Json &j, Result &out, std::string *error)
 }
 
 namespace {
+
+bool
+hasExplicitTolerance(std::string_view name, const Json *tolerances)
+{
+    if (!tolerances || !tolerances->isObject())
+        return false;
+    const Json *t = tolerances->find(name);
+    return t && t->isObject();
+}
 
 Tolerance
 toleranceFor(std::string_view name, const Json *tolerances,
@@ -312,6 +376,41 @@ compareResults(const Result &golden, const Result &actual,
         }
         if (boundBroken(name))
             continue; // its structural failure is already recorded
+        if (golden.hasCount(name) && actual.hasCount(name)) {
+            // Exact 64-bit comparison: equal or fail, unless an
+            // explicit tolerance or sampling bound widens it — then
+            // the band applies to the exact integer difference (the
+            // doubles would already have collapsed distinct counts
+            // above 2^53 into "equal").
+            const std::uint64_t gc = golden.countValue(name);
+            const std::uint64_t ac = actual.countValue(name);
+            const bool widened =
+                hasExplicitTolerance(name, goldenTolerances) ||
+                boundFor(golden, name) || boundFor(actual, name);
+            if (!widened) {
+                if (gc != ac) {
+                    MetricDiff d;
+                    d.name = name;
+                    d.golden = gv;
+                    d.actual = av;
+                    d.note = "exact count mismatch: golden " +
+                        std::to_string(gc) + " != actual " +
+                        std::to_string(ac);
+                    report.diffs.push_back(std::move(d));
+                    report.pass = false;
+                }
+                continue;
+            }
+            const std::uint64_t delta = gc > ac ? gc - ac : ac - gc;
+            const Tolerance tol = widenForBounds(
+                name, toleranceFor(name, goldenTolerances, fallback));
+            if (static_cast<double>(delta) >
+                tol.abs + tol.rel * static_cast<double>(gc)) {
+                report.diffs.push_back({name, gv, av, ""});
+                report.pass = false;
+            }
+            continue;
+        }
         if (!withinTolerance(gv, av,
                              widenForBounds(
                                  name, toleranceFor(name,

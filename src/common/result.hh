@@ -87,6 +87,15 @@ class Result
 
     /** Append (or overwrite) a named scalar metric. */
     void metric(std::string_view name, double value);
+    /**
+     * Append (or overwrite) a named exact integer count metric: cycle
+     * totals, histogram masses, event counts. Serializes as an
+     * integer JSON token (lossless above 2^53, where a double metric
+     * silently rounds) and compares exactly in compareResults unless
+     * an explicit tolerance or sampling bound widens it. Also visible
+     * through metricValue()/metrics() as a (possibly rounded) double.
+     */
+    void metricCount(std::string_view name, std::uint64_t value);
     /** Append (or overwrite) a named numeric series. */
     void series(std::string_view name, std::vector<double> values);
     /** Append one point to a named series (creating it on first use). */
@@ -95,6 +104,10 @@ class Result
     bool hasMetric(std::string_view name) const;
     /** Value of a metric; panics if absent. */
     double metricValue(std::string_view name) const;
+    /** True when `name` is an exact integer count metric. */
+    bool hasCount(std::string_view name) const;
+    /** Exact value of a count metric; panics if absent. */
+    std::uint64_t countValue(std::string_view name) const;
 
     const std::vector<std::pair<std::string, double>> &
     metrics() const { return metrics_; }
@@ -115,6 +128,9 @@ class Result
     bool hasSampling_ = false;
     ResultSampling sampling_;
     std::vector<std::pair<std::string, double>> metrics_;
+    /** Exact values of the metrics that are integer counts (each name
+     *  also appears in metrics_ with the rounded double). */
+    std::vector<std::pair<std::string, std::uint64_t>> counts_;
     std::vector<std::pair<std::string, std::vector<double>>> series_;
 };
 
@@ -153,6 +169,13 @@ struct CompareReport
  * present in one Result but not the other fail the comparison; seed,
  * jobs, and git stamps are informational and never compared (runs
  * must be bit-identical across job counts — that is the point).
+ *
+ * A metric that is an exact count on both sides is compared as 64-bit
+ * integers: equal or fail, with no fallback tolerance (rel = 1e-6 on
+ * a 1e9-cycle counter would silently allow a drift of 1000 events).
+ * An explicit golden tolerance entry or a sampled-execution bound
+ * still widens a count comparison, applied to the exact integer
+ * difference.
  */
 CompareReport compareResults(const Result &golden, const Result &actual,
                              const Json *goldenTolerances = nullptr,

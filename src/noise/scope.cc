@@ -44,8 +44,12 @@ Scope::visualPeakToPeak(double tailFraction) const
 double
 Scope::fractionOutside(double band) const
 {
+    // Both tails are computed from their own tail mass; going through
+    // 1 - fractionBelow(band) would cancel away the upper tail's
+    // precision exactly where the paper's 0.06 %-beyond-4 % style
+    // figures live.
     return histogram_.fractionBelow(-band) +
-        (1.0 - histogram_.fractionBelow(band));
+        histogram_.fractionAtOrAbove(band);
 }
 
 } // namespace vsmooth::noise

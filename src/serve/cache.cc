@@ -1,0 +1,78 @@
+#include "cache.hh"
+
+namespace vsmooth::serve {
+
+std::string
+fnv1aHex(std::string_view bytes)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    static const char *digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[h & 0xf];
+        h >>= 4;
+    }
+    return out;
+}
+
+bool
+ResultCache::lookup(const std::string &key, std::string *out)
+{
+    std::lock_guard lk(m_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.hits;
+    if (out)
+        *out = it->second->payload;
+    return true;
+}
+
+void
+ResultCache::insert(const std::string &key, std::string payload)
+{
+    std::lock_guard lk(m_);
+    if (const auto it = index_.find(key); it != index_.end()) {
+        // Refresh: same canonical config must map to the same bytes,
+        // but a re-insert after eviction races are harmless — keep
+        // the newest payload and recency.
+        bytes_ -= entryBytes(*it->second);
+        it->second->payload = std::move(payload);
+        bytes_ += entryBytes(*it->second);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    Entry e{key, std::move(payload)};
+    const std::size_t need = entryBytes(e);
+    if (need > budget_)
+        return; // larger than the whole cache: not worth thrashing
+    while (bytes_ + need > budget_ && !lru_.empty()) {
+        bytes_ -= entryBytes(lru_.back());
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+    lru_.push_front(std::move(e));
+    index_.emplace(lru_.front().key, lru_.begin());
+    bytes_ += need;
+    ++stats_.insertions;
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard lk(m_);
+    Stats s = stats_;
+    s.entries = lru_.size();
+    s.bytes = bytes_;
+    return s;
+}
+
+} // namespace vsmooth::serve

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Content-addressed Result cache for `vsmooth serve`.
+ *
+ * Keyed by the canonical JSON of a batch item (kind + full,
+ * non-default-omitting config dump), so two requests describing the
+ * same scenario — regardless of field order in the request or which
+ * defaults the client spelled out — hit the same entry. Values are the
+ * exact serialized Result bytes that were first streamed back, which
+ * makes a cache hit bit-identical to the original computation by
+ * construction. Eviction is LRU under a byte budget; hit/miss counters
+ * feed the per-response metadata and the `stats` request.
+ */
+
+#ifndef VSMOOTH_SERVE_CACHE_HH
+#define VSMOOTH_SERVE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace vsmooth::serve {
+
+/** FNV-1a 64-bit hash as 16 hex digits — the compact config
+ *  fingerprint stamped into response metadata (the full canonical key
+ *  can be kilobytes). */
+std::string fnv1aHex(std::string_view bytes);
+
+/** Thread-safe LRU cache: canonical config key -> serialized Result. */
+class ResultCache
+{
+  public:
+    /** `byteBudget` bounds the sum of key + payload sizes; 0 disables
+     *  caching entirely (every lookup misses, inserts drop). */
+    explicit ResultCache(std::size_t byteBudget)
+        : budget_(byteBudget)
+    {
+    }
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /** On hit copies the payload into *out, refreshes recency, and
+     *  counts a hit; on miss counts a miss. */
+    bool lookup(const std::string &key, std::string *out);
+
+    /** Insert (or refresh) an entry, evicting least-recently-used
+     *  entries until the budget holds. An entry larger than the whole
+     *  budget is not cached. */
+    void insert(const std::string &key, std::string payload);
+
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+        std::size_t bytes = 0;
+    };
+    Stats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::string payload;
+    };
+
+    std::size_t entryBytes(const Entry &e) const
+    {
+        return e.key.size() + e.payload.size();
+    }
+
+    mutable std::mutex m_;
+    std::size_t budget_;
+    std::size_t bytes_ = 0;
+    std::list<Entry> lru_; // front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+    Stats stats_;
+};
+
+} // namespace vsmooth::serve
+
+#endif // VSMOOTH_SERVE_CACHE_HH

@@ -1,0 +1,89 @@
+#include "queue.hh"
+
+#include <utility>
+#include <vector>
+
+namespace vsmooth::serve {
+
+TaskQueue::Push
+TaskQueue::push(Task task)
+{
+    std::lock_guard lk(m_);
+    if (draining_)
+        return Push::Draining;
+    if (tasks_.size() >= capacity_)
+        return Push::Busy;
+    tasks_.push_back(std::move(task));
+    cv_.notify_one();
+    return Push::Accepted;
+}
+
+bool
+TaskQueue::pop(Task *out)
+{
+    std::unique_lock lk(m_);
+    cv_.wait(lk, [&] { return !tasks_.empty() || draining_; });
+    if (tasks_.empty())
+        return false; // draining and nothing left
+    *out = std::move(tasks_.front());
+    tasks_.pop_front();
+    ++inFlight_;
+    return true;
+}
+
+void
+TaskQueue::taskDone()
+{
+    std::lock_guard lk(m_);
+    if (--inFlight_ == 0)
+        idleCv_.notify_all();
+}
+
+void
+TaskQueue::beginDrain()
+{
+    std::vector<Task> rejected;
+    {
+        std::lock_guard lk(m_);
+        draining_ = true;
+        // Pull the backlog out under the lock, reject outside it:
+        // reject callbacks write to sockets and must not serialize
+        // against push/pop.
+        while (!tasks_.empty()) {
+            rejected.push_back(std::move(tasks_.front()));
+            tasks_.pop_front();
+        }
+        cv_.notify_all();
+        if (inFlight_ == 0)
+            idleCv_.notify_all();
+    }
+    for (Task &t : rejected) {
+        if (t.reject)
+            t.reject();
+    }
+}
+
+void
+TaskQueue::awaitIdle()
+{
+    std::unique_lock lk(m_);
+    idleCv_.wait(lk, [&] {
+        return draining_ && tasks_.empty() && inFlight_ == 0;
+    });
+}
+
+std::size_t
+TaskQueue::depth() const
+{
+    std::lock_guard lk(m_);
+    return tasks_.size();
+}
+
+bool
+TaskQueue::draining() const
+{
+    std::lock_guard lk(m_);
+    return draining_;
+}
+
+} // namespace vsmooth::serve

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Bounded work queue with explicit backpressure and drain semantics.
+ *
+ * The daemon never buffers unboundedly: when the queue is full, the
+ * submitting connection gets an immediate `busy` response (retryable)
+ * instead of the request silently piling up. On drain (SIGTERM or a
+ * `shutdown` request) the queue stops accepting work, every task that
+ * was queued but not yet started is rejected through its reject
+ * callback (so the client hears a retryable status, not a dropped
+ * connection), and in-flight tasks run to completion.
+ */
+
+#ifndef VSMOOTH_SERVE_QUEUE_HH
+#define VSMOOTH_SERVE_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace vsmooth::serve {
+
+/** One queued unit of work. Exactly one of run/reject is invoked. */
+struct Task
+{
+    std::function<void()> run;
+    /** Called instead of run when the queue drains before dispatch. */
+    std::function<void()> reject;
+};
+
+class TaskQueue
+{
+  public:
+    explicit TaskQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    TaskQueue(const TaskQueue &) = delete;
+    TaskQueue &operator=(const TaskQueue &) = delete;
+
+    enum class Push { Accepted, Busy, Draining };
+
+    /** Non-blocking submit: Busy when full, Draining after
+     *  beginDrain. The task's callbacks are only retained on
+     *  Accepted. */
+    Push push(Task task);
+
+    /**
+     * Blocking worker dequeue. Returns false when the queue is
+     * draining and empty — the worker should exit. While a popped
+     * task runs it counts as in flight; call taskDone() after it.
+     */
+    bool pop(Task *out);
+    void taskDone();
+
+    /**
+     * Stop accepting work and reject everything still queued (their
+     * reject callbacks run on the calling thread, in queue order).
+     * Idempotent. Does not wait — use awaitIdle() for that.
+     */
+    void beginDrain();
+
+    /** Block until every in-flight task has called taskDone(). Only
+     *  meaningful after beginDrain(). */
+    void awaitIdle();
+
+    std::size_t depth() const;
+    bool draining() const;
+
+  private:
+    mutable std::mutex m_;
+    std::condition_variable cv_;     // work available / draining
+    std::condition_variable idleCv_; // in-flight count reached zero
+    std::size_t capacity_;
+    std::deque<Task> tasks_;
+    std::size_t inFlight_ = 0;
+    bool draining_ = false;
+};
+
+} // namespace vsmooth::serve
+
+#endif // VSMOOTH_SERVE_QUEUE_HH

@@ -8,6 +8,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "common/fsio.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/result.hh"
@@ -133,7 +134,9 @@ runExperiment(const VerifyOptions &opt, const std::string &name,
 }
 
 /** In --update mode: write the fresh result as the new golden,
- *  preserving a "tolerances" object already present in the old one. */
+ *  preserving a "tolerances" object already present in the old one.
+ *  The replacement is atomic (temp + rename): an interrupt mid-update
+ *  must never leave a truncated golden where a valid one stood. */
 bool
 updateGolden(const std::string &goldenPath, const Result &actual)
 {
@@ -147,14 +150,19 @@ updateGolden(const std::string &goldenPath, const Result &actual)
         if (error.empty() && old.isObject() && old.contains("tolerances"))
             out.set("tolerances", old.at("tolerances"));
     }
-    std::ofstream os(goldenPath);
-    if (!os) {
-        std::cerr << "  cannot write '" << goldenPath << "'\n";
+    std::string error;
+    if (!writeFileAtomic(
+            goldenPath,
+            [&](std::ostream &os) {
+                out.write(os, 2);
+                os << "\n";
+                return os.good();
+            },
+            &error)) {
+        std::cerr << "  " << error << "\n";
         return false;
     }
-    out.write(os, 2);
-    os << "\n";
-    return os.good();
+    return true;
 }
 
 void

@@ -14,6 +14,25 @@
  *   vsmooth reset-droop [--decap F]
  *   vsmooth verify [options]
  *   vsmooth fuzz [options]
+ *   vsmooth serve [options]
+ *   vsmooth client [options]
+ *
+ * Options for `serve` (sweep-as-a-service daemon):
+ *   --socket PATH    listen on a Unix-domain socket
+ *   --port N         listen on 127.0.0.1:N (0 = ephemeral)
+ *   --workers N      executor threads (default 2)
+ *   --cache-bytes N  Result cache budget (default 64 MiB, 0 = off)
+ *   --queue N        bounded queue capacity (default 256)
+ *   --ready-file F   write "<kind> <address>" here once listening
+ *
+ * Options for `client` (submit a batch to a daemon):
+ *   --socket PATH | --port N   where the daemon listens
+ *   --batch FILE     items array (or {"items": [...]}) to submit
+ *   --id NAME        batch id echoed in responses (default "cli")
+ *   --local          run the batch in-process (offline reference)
+ *   --results-only   print one serialized Result per item
+ *   --shutdown       ask the daemon to drain and exit
+ *   --stats          print cache/queue counters
  *
  * Options for `fuzz` (property-based differential testing):
  *   --seed S         generation seed (default 1)
@@ -75,6 +94,8 @@
 #include "pdn/droop_analysis.hh"
 #include "pdn/ladder.hh"
 #include "resilience/perf_model.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 #include "sim/system.hh"
 #include "simtest/fuzz.hh"
 #include "verify.hh"
@@ -97,6 +118,8 @@ usage()
            "  vsmooth reset-droop [--decap F]\n"
            "  vsmooth verify [options]\n"
            "  vsmooth fuzz [options]\n"
+           "  vsmooth serve [options]\n"
+           "  vsmooth client [options]\n"
            "run options: --decap F --cycles N --margin M --recovery N\n"
            "             --predictor --damper --split --trace FILE"
            " --seed S\n"
@@ -109,6 +132,12 @@ usage()
            " --repro FILE\n"
            "              --corpus DIR --repro-out F --summary FILE"
            " --list --verbose\n"
+           "serve options: --socket PATH | --port N --workers N\n"
+           "               --cache-bytes N --queue N --ready-file F\n"
+           "client options: --socket PATH | --port N --batch FILE"
+           " --id NAME\n"
+           "                --local --results-only --shutdown"
+           " --stats\n"
            "global options: --jobs N (worker threads for sweeps;"
            " 1 = serial)\n";
     std::exit(2);
@@ -416,6 +445,102 @@ cmdFuzz(int argc, char **argv)
     return simtest::runFuzz(opt);
 }
 
+int
+cmdServe(int argc, char **argv)
+{
+    serve::ServeOptions opt;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            opt.socketPath = next();
+        } else if (arg == "--port") {
+            const std::uint64_t v = parseU64(next(), "--port");
+            if (v > 65535)
+                fatal("--port %llu out of range",
+                      static_cast<unsigned long long>(v));
+            opt.port = static_cast<int>(v);
+        } else if (arg == "--workers") {
+            const std::uint64_t v = parseU64(next(), "--workers");
+            if (v < 1)
+                fatal("--workers needs a positive thread count");
+            opt.workers = static_cast<std::size_t>(v);
+        } else if (arg == "--cache-bytes") {
+            opt.cacheBytes = static_cast<std::size_t>(
+                parseU64(next(), "--cache-bytes"));
+        } else if (arg == "--queue") {
+            const std::uint64_t v = parseU64(next(), "--queue");
+            if (v < 1)
+                fatal("--queue needs a positive capacity");
+            opt.queueCapacity = static_cast<std::size_t>(v);
+        } else if (arg == "--ready-file") {
+            opt.readyFile = next();
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+        } else if (arg == "--jobs") {
+            const std::uint64_t v = parseU64(next(), "--jobs");
+            if (v < 1)
+                fatal("--jobs needs a positive thread count");
+            setJobs(static_cast<std::size_t>(v));
+        } else {
+            usage();
+        }
+    }
+    if (opt.socketPath.empty() && opt.port == 0)
+        warn("serve: no --socket or --port given; using an "
+             "ephemeral TCP port (see --ready-file)");
+    return serve::runServe(opt);
+}
+
+int
+cmdClient(int argc, char **argv)
+{
+    serve::ClientOptions opt;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            opt.socketPath = next();
+        } else if (arg == "--port") {
+            const std::uint64_t v = parseU64(next(), "--port");
+            if (v < 1 || v > 65535)
+                fatal("--port %llu out of range",
+                      static_cast<unsigned long long>(v));
+            opt.port = static_cast<int>(v);
+        } else if (arg == "--batch") {
+            opt.batchFile = next();
+        } else if (arg == "--id") {
+            opt.batchId = next();
+        } else if (arg == "--local") {
+            opt.local = true;
+        } else if (arg == "--results-only") {
+            opt.resultsOnly = true;
+        } else if (arg == "--shutdown") {
+            opt.shutdown = true;
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else if (arg == "--jobs") {
+            const std::uint64_t v = parseU64(next(), "--jobs");
+            if (v < 1)
+                fatal("--jobs needs a positive thread count");
+            setJobs(static_cast<std::size_t>(v));
+        } else {
+            usage();
+        }
+    }
+    if (opt.batchFile.empty() && !opt.shutdown && !opt.stats)
+        fatal("client needs --batch FILE (or --shutdown / --stats)");
+    return serve::runClient(opt);
+}
+
 } // namespace
 
 int
@@ -436,6 +561,10 @@ main(int argc, char **argv)
         return cmdVerify(argc, argv);
     if (cmd == "fuzz")
         return cmdFuzz(argc, argv);
+    if (cmd == "serve")
+        return cmdServe(argc, argv);
+    if (cmd == "client")
+        return cmdClient(argc, argv);
 
     double decap = 1.0;
     RunOptions opt;

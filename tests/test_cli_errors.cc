@@ -17,8 +17,12 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <sys/wait.h>
+#include <vector>
+
+#include "common/fsio.hh"
 
 namespace fs = std::filesystem;
 
@@ -133,6 +137,94 @@ TEST(CliErrors, VerifyMalformedGoldenJson)
     EXPECT_NE(r.output.find("FAIL"), std::string::npos);
     EXPECT_NE(r.output.find("fig01_future_swings.json"),
               std::string::npos);
+}
+
+namespace {
+
+/** Every regular file in `dir` (for temp-leftover assertions). */
+std::vector<std::string>
+filesIn(const fs::path &dir)
+{
+    std::vector<std::string> names;
+    for (const auto &e : fs::directory_iterator(dir))
+        names.push_back(e.path().filename().string());
+    return names;
+}
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream in(p);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+} // namespace
+
+TEST(CliErrors, AtomicWriteSurvivesSimulatedPartialWrite)
+{
+    // A golden update that dies mid-write (Ctrl-C, crash, full disk)
+    // must leave the previous golden intact — the old in-place
+    // ofstream truncated the target before the first byte landed.
+    const auto dir = scratchDir("atomic_partial");
+    const fs::path target = dir / "golden.json";
+    const std::string original = "{\"experiment\": \"x\"}\n";
+    std::ofstream(target) << original;
+
+    std::string error;
+    const bool ok = vsmooth::writeFileAtomic(
+        target.string(),
+        [](std::ostream &os) {
+            os << "{\"experiment\": \"y\", \"metr"; // partial write...
+            return false;                           // ...then die
+        },
+        &error);
+    EXPECT_FALSE(ok);
+    EXPECT_FALSE(error.empty());
+
+    // Original untouched, and the aborted temp file cleaned up.
+    EXPECT_EQ(slurp(target), original);
+    EXPECT_EQ(filesIn(dir), std::vector<std::string>{"golden.json"});
+
+    // A successful writer replaces the content whole.
+    ASSERT_TRUE(vsmooth::writeFileAtomic(
+        target.string(),
+        [](std::ostream &os) {
+            os << "{\"experiment\": \"z\"}\n";
+            return os.good();
+        },
+        &error))
+        << error;
+    EXPECT_EQ(slurp(target), "{\"experiment\": \"z\"}\n");
+    EXPECT_EQ(filesIn(dir), std::vector<std::string>{"golden.json"});
+}
+
+TEST(CliErrors, VerifyUpdateReplacesGoldenAtomically)
+{
+    const auto bench = scratchDir("verify_update_bench");
+    const auto golden = scratchDir("verify_update_golden");
+    writeFakeExperiment(bench, "fig01_future_swings");
+    // Pre-existing golden with a tolerances block that must survive
+    // the update, written through the temp + rename path.
+    std::ofstream(golden / "fig01_future_swings.json")
+        << "{\"experiment\": \"fig01_future_swings\","
+           " \"metrics\": {\"m\": 2},"
+           " \"tolerances\": {\"m\": {\"abs\": 0.5}}}\n";
+
+    const auto r = runCli("verify --update --bench-dir " +
+                          bench.string() + " --golden-dir " +
+                          golden.string() +
+                          " --experiments fig01_future_swings");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+
+    const std::string updated =
+        slurp(golden / "fig01_future_swings.json");
+    EXPECT_NE(updated.find("\"m\": 1"), std::string::npos) << updated;
+    EXPECT_NE(updated.find("tolerances"), std::string::npos) << updated;
+    // No .tmp.<pid> debris left behind.
+    EXPECT_EQ(filesIn(golden),
+              std::vector<std::string>{"fig01_future_swings.json"});
 }
 
 TEST(CliErrors, FuzzUnknownProperty)

@@ -125,6 +125,53 @@ TEST(Histogram, FractionAtOrAboveComplement)
                 1e-12);
 }
 
+TEST(Histogram, FractionAtOrAboveDeepTailIsExact)
+{
+    // A droop-margin CDF query on a long-horizon population: ~1e12
+    // samples (weighted adds — the oscilloscope-style compressed form)
+    // with a single sample in the deep tail. The tail fraction must
+    // come out as one count over one total, exact to the half-ulp;
+    // computing 1.0 - fractionBelow(x) instead cancels down to ~4
+    // correct digits at this depth.
+    Histogram h(-0.05, 0.05, 100);
+    h.add(0.0, 999'999'999'999ull);
+    h.add(0.0491, 1); // deepest overshoot, in the last bin
+    ASSERT_EQ(h.totalCount(), 1'000'000'000'000ull);
+    // 0.0485 falls in an empty bin below the tail sample's, so the
+    // within-bin interpolation term is exactly zero and the query is
+    // pure integer tail mass over total.
+    EXPECT_DOUBLE_EQ(h.fractionAtOrAbove(0.0485), 1e-12);
+    // Beyond the binned range the tail is the overflow bucket alone.
+    Histogram o(-0.05, 0.05, 100);
+    o.add(0.0, 999'999'999'999ull);
+    o.add(0.12, 1);
+    EXPECT_DOUBLE_EQ(o.fractionAtOrAbove(0.05), 1e-12);
+    EXPECT_DOUBLE_EQ(o.fractionAtOrAbove(0.1), 1e-12);
+    // A billion-sample histogram with a 1e-9 tail shows the same
+    // cancellation one decade up; the direct sum stays exact.
+    Histogram g(-0.05, 0.05, 100);
+    g.add(0.0, 999'999'999ull);
+    g.add(0.0491, 1);
+    EXPECT_DOUBLE_EQ(g.fractionAtOrAbove(0.0485), 1e-9);
+}
+
+TEST(Histogram, FractionAtOrAboveEdgeConventions)
+{
+    // Mirrors fractionBelow's conventions at the range edges and for
+    // under/overflow mass.
+    Histogram h(0.0, 10.0, 10);
+    h.add(-5.0);  // underflow
+    h.add(2.5);
+    h.add(7.5);
+    h.add(15.0);  // overflow
+    EXPECT_DOUBLE_EQ(h.fractionAtOrAbove(-10.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.fractionAtOrAbove(0.0), 0.75);
+    EXPECT_DOUBLE_EQ(h.fractionAtOrAbove(10.0), 0.25);
+    EXPECT_DOUBLE_EQ(h.fractionAtOrAbove(20.0), 0.0);
+    Histogram e(0.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(e.fractionAtOrAbove(0.5), 0.0);
+}
+
 TEST(Histogram, QuantileMedianOfUniform)
 {
     Histogram h(0.0, 1.0, 1000);

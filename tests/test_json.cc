@@ -114,6 +114,64 @@ TEST(Json, PrettyPrintParsesBack)
     EXPECT_EQ(back.dump(), obj.dump());
 }
 
+TEST(Json, Uint64CountsRoundTripLosslessly)
+{
+    // Counters near UINT64_MAX differ in bits a double cannot hold:
+    // both values below round to the same double, so a %.17g detour
+    // collapses them. Integer tokens must survive bit-for-bit.
+    const std::uint64_t a = std::numeric_limits<std::uint64_t>::max();
+    const std::uint64_t b = a - 1;
+    ASSERT_EQ(static_cast<double>(a), static_cast<double>(b));
+
+    for (std::uint64_t v : {a, b}) {
+        std::string error;
+        const Json back = Json::parse(Json(v).dump(), &error);
+        ASSERT_TRUE(error.empty()) << error;
+        ASSERT_TRUE(back.isUint());
+        EXPECT_EQ(back.asUint64(), v);
+    }
+    EXPECT_NE(Json(a).dump(), Json(b).dump());
+
+    // Negative integer tokens take the signed path.
+    const std::int64_t n = std::numeric_limits<std::int64_t>::min();
+    const Json backN = Json::parse(Json(n).dump());
+    ASSERT_TRUE(backN.isInt());
+    EXPECT_EQ(backN.dump(), std::to_string(n));
+}
+
+TEST(Json, ExactUint64Accessor)
+{
+    std::uint64_t out = 0;
+
+    // Integer-kind values in range.
+    EXPECT_TRUE(Json(std::uint64_t{1} << 60).exactUint64(&out));
+    EXPECT_EQ(out, std::uint64_t{1} << 60);
+    EXPECT_TRUE(Json(std::int64_t{42}).exactUint64(&out));
+    EXPECT_EQ(out, 42u);
+    EXPECT_FALSE(Json(std::int64_t{-1}).exactUint64(&out));
+
+    // Doubles: integral and <= 2^53 only.
+    EXPECT_TRUE(Json(9007199254740992.0).exactUint64(&out));
+    EXPECT_EQ(out, 9007199254740992ull);
+    EXPECT_FALSE(Json(9007199254740994.0).exactUint64(&out));
+    EXPECT_FALSE(Json(2.5).exactUint64(&out));
+    EXPECT_FALSE(Json(-1.0).exactUint64(&out));
+    EXPECT_FALSE(Json("42").exactUint64(&out));
+}
+
+TEST(Json, IntegerTokensKeepLegacyByteLayout)
+{
+    // Pre-existing goldens were written via %.0f; the integer path
+    // must emit identical bytes so checked-in files stay stable.
+    EXPECT_EQ(Json(std::uint64_t{0}).dump(), "0");
+    EXPECT_EQ(Json(std::int64_t{-17}).dump(), "-17");
+    EXPECT_EQ(Json::parse("1000000").dump(), "1000000");
+    // "-0" has no exact integer reading that preserves its sign;
+    // it stays a double and keeps printing as -0.
+    EXPECT_EQ(Json::parse("-0").dump(), "-0");
+    EXPECT_FALSE(Json::parse("-0").isInt());
+}
+
 TEST(Result, JsonRoundTrip)
 {
     Result r("fig99_example");
@@ -137,6 +195,89 @@ TEST(Result, JsonRoundTrip)
     ASSERT_EQ(back.allSeries().size(), 1u);
     EXPECT_EQ(back.allSeries()[0].second.size(), 3u);
     EXPECT_EQ(back.allSeries()[0].second[1], 80.5);
+}
+
+TEST(Result, CountMetricsRoundTripExactly)
+{
+    const std::uint64_t big =
+        std::numeric_limits<std::uint64_t>::max() - 2;
+    Result r("counts");
+    r.metricCount("total_cycles", big);
+    r.metric("tail_fraction", 1e-12);
+
+    Result back;
+    std::string error;
+    ASSERT_TRUE(Result::fromJson(
+        Json::parse(r.toJson().dump(2), &error), back, &error))
+        << error;
+    ASSERT_TRUE(back.hasCount("total_cycles"));
+    EXPECT_EQ(back.countValue("total_cycles"), big);
+    EXPECT_FALSE(back.hasCount("tail_fraction"));
+    EXPECT_DOUBLE_EQ(back.metricValue("tail_fraction"), 1e-12);
+
+    // Re-assigning a count as a plain double demotes it.
+    back.metric("total_cycles", 3.5);
+    EXPECT_FALSE(back.hasCount("total_cycles"));
+}
+
+TEST(Result, CompareTreatsCountsExactly)
+{
+    // Above 2^53 these two counters round to the same double, so the
+    // old double-band comparison could not tell them apart; and even
+    // below 2^53 the default rel = 1e-6 band would allow a 1e9-event
+    // counter to drift by 1000. Counts must compare as integers.
+    const std::uint64_t base = std::uint64_t{1} << 60;
+    Result golden("exp");
+    golden.metricCount("emergencies", base);
+    Result actual("exp");
+    actual.metricCount("emergencies", base + 1);
+    ASSERT_EQ(static_cast<double>(base),
+              static_cast<double>(base + 1));
+
+    auto report = compareResults(golden, actual);
+    EXPECT_FALSE(report.pass);
+    ASSERT_EQ(report.diffs.size(), 1u);
+    EXPECT_EQ(report.diffs[0].name, "emergencies");
+    EXPECT_NE(report.diffs[0].note.find("exact count"),
+              std::string::npos);
+
+    // Equal counts pass.
+    actual = golden;
+    EXPECT_TRUE(compareResults(golden, actual).pass);
+
+    // A small drift is still exact-failed by default...
+    golden = Result("exp");
+    golden.metricCount("emergencies", 1'000'000'000ull);
+    actual = Result("exp");
+    actual.metricCount("emergencies", 1'000'000'500ull);
+    EXPECT_FALSE(compareResults(golden, actual).pass);
+
+    // ... but an explicit golden tolerance entry widens it.
+    std::string error;
+    const Json tol =
+        Json::parse("{\"emergencies\": {\"abs\": 1000}}", &error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_TRUE(compareResults(golden, actual, &tol).pass);
+
+    // A sampled-execution bound widens it too.
+    Result sampled = actual;
+    ResultSampling sampling;
+    sampling.mode = "phase";
+    sampling.simulatedFraction = 0.25;
+    sampling.bounds.emplace_back("emergencies", 1000.0);
+    sampled.setSampling(sampling);
+    EXPECT_TRUE(compareResults(golden, sampled).pass);
+}
+
+TEST(Result, CountOnOneSideOnlyFallsBackToDoubles)
+{
+    // A golden written before counts existed (plain double) compared
+    // against a count-producing run keeps the old tolerance path.
+    Result golden("exp");
+    golden.metric("events", 1000.0);
+    Result actual("exp");
+    actual.metricCount("events", 1000);
+    EXPECT_TRUE(compareResults(golden, actual).pass);
 }
 
 TEST(Result, FromJsonRejectsMalformedSchemas)

@@ -10,8 +10,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.hh"
@@ -124,6 +127,47 @@ TEST(Parallel, ExceptionPropagatesAndPoolSurvives)
     std::atomic<int> calls{0};
     parallelFor(0, 16, [&](std::size_t) { ++calls; });
     EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(Parallel, LowestChunkExceptionWinsDeterministically)
+{
+    // Two chunks throw in the same sweep. The pool must drain every
+    // in-flight chunk and then rethrow the exception from the
+    // lowest-indexed throwing chunk — not whichever thread happened to
+    // reach the error slot first. Chunk 3 throws immediately while
+    // chunk 1 sleeps first, so a first-arrival policy reliably
+    // surfaces "chunk 3"; the deterministic policy must say "chunk 1"
+    // on every iteration regardless of scheduling.
+    JobsGuard guard;
+    setJobs(4);
+    for (int iter = 0; iter < 10; ++iter) {
+        std::atomic<int> arrived{0};
+        std::atomic<int> finished{0};
+        std::string caught;
+        try {
+            parallelFor(0, 4, [&](std::size_t i) {
+                // Barrier: every chunk is in flight before any throws,
+                // so none of them can be "abandoned undispatched".
+                ++arrived;
+                while (arrived.load() < 4)
+                    std::this_thread::yield();
+                if (i == 3)
+                    throw std::runtime_error("chunk 3");
+                if (i == 1) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(20));
+                    throw std::runtime_error("chunk 1");
+                }
+                ++finished;
+            });
+            FAIL() << "sweep did not throw";
+        } catch (const std::runtime_error &e) {
+            caught = e.what();
+        }
+        EXPECT_EQ(caught, "chunk 1") << "iteration " << iter;
+        // Both non-throwing chunks ran to completion before rethrow.
+        EXPECT_EQ(finished.load(), 2) << "iteration " << iter;
+    }
 }
 
 TEST(Parallel, NestedCallsRunInlineWithoutDeadlock)

@@ -2,8 +2,9 @@
 # Full CI pass: configure, build, unit tests, golden-result
 # regression, a ThreadSanitizer smoke of the parallel sweep engine,
 # an ASan+UBSan property-fuzzing smoke (including dedicated
-# scenario-lane equivalence and sampled-execution bound passes), and a
-# clean-work-tree check. Run from the repository root:
+# scenario-lane equivalence and sampled-execution bound passes), an
+# ASan+UBSan serve-daemon round trip (cache resubmission + SIGTERM
+# drain), and a clean-work-tree check. Run from the repository root:
 #
 #   tools/ci.sh [build-dir]
 #
@@ -74,6 +75,50 @@ echo "== ASan+UBSan fuzz: sampled execution within bounds, 2000 configs =="
 "${FUZZ_DIR}/src/tools/vsmooth" fuzz --seed 1 --iters 2000 \
       --properties sampled_within_bounds \
       --summary "${FUZZ_DIR}/fuzz-sampled-summary.json"
+
+echo "== ASan+UBSan serve: cached oracle batch, SIGTERM drain =="
+# Boot the daemon on a Unix socket, submit an oracle-matrix batch
+# twice, and require the second pass to be answered entirely from the
+# content-addressed cache with byte-identical results; then SIGTERM
+# must drain and exit 0 with the sanitizers watching the executor,
+# cache, and connection teardown paths.
+SERVE_DIR="${FUZZ_DIR}/serve-stage"
+rm -rf "${SERVE_DIR}"
+mkdir -p "${SERVE_DIR}"
+cat > "${SERVE_DIR}/batch.json" <<'EOF'
+[{"kind": "oracle_cell", "bench_a": "mcf",   "bench_b": "lbm",  "cycles_per_pair": 30000},
+ {"kind": "oracle_cell", "bench_a": "mcf",   "bench_b": "mcf",  "cycles_per_pair": 30000},
+ {"kind": "oracle_cell", "bench_a": "hmmer", "bench_b": "milc", "cycles_per_pair": 30000}]
+EOF
+"${FUZZ_DIR}/src/tools/vsmooth" serve --socket "${SERVE_DIR}/s.sock" \
+      --workers 2 --ready-file "${SERVE_DIR}/ready" \
+      > "${SERVE_DIR}/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -f "${SERVE_DIR}/ready" ] && break
+    sleep 0.1
+done
+[ -f "${SERVE_DIR}/ready" ]
+"${FUZZ_DIR}/src/tools/vsmooth" client --socket "${SERVE_DIR}/s.sock" \
+      --batch "${SERVE_DIR}/batch.json" --results-only \
+      > "${SERVE_DIR}/pass1.txt"
+"${FUZZ_DIR}/src/tools/vsmooth" client --socket "${SERVE_DIR}/s.sock" \
+      --batch "${SERVE_DIR}/batch.json" > "${SERVE_DIR}/pass2-full.txt"
+if grep -q '"cache": "miss"' "${SERVE_DIR}/pass2-full.txt"; then
+    echo "error: cache miss on resubmission" >&2
+    exit 1
+fi
+[ "$(grep -c '"cache": "hit"' "${SERVE_DIR}/pass2-full.txt")" -eq 3 ]
+"${FUZZ_DIR}/src/tools/vsmooth" client --socket "${SERVE_DIR}/s.sock" \
+      --batch "${SERVE_DIR}/batch.json" --results-only \
+      > "${SERVE_DIR}/pass2.txt"
+cmp "${SERVE_DIR}/pass1.txt" "${SERVE_DIR}/pass2.txt"
+"${FUZZ_DIR}/src/tools/vsmooth" client --local \
+      --batch "${SERVE_DIR}/batch.json" --results-only \
+      > "${SERVE_DIR}/local.txt"
+cmp "${SERVE_DIR}/pass1.txt" "${SERVE_DIR}/local.txt"
+kill -TERM "${SERVE_PID}"
+wait "${SERVE_PID}"
 
 echo "== bench: phase-sampled long-horizon sweep throughput =="
 tools/bench.sh "${BUILD_DIR}" "${BUILD_DIR}/BENCH_pr6.json"
