@@ -16,9 +16,11 @@
 #include "bench_util.hh"
 #include "circuit/transient.hh"
 #include "common/parallel.hh"
+#include "common/simd.hh"
 #include "cpu/detailed_core.hh"
 #include "cpu/fast_core.hh"
 #include "circuit/ac.hh"
+#include "dsp/primitives.hh"
 #include "pdn/ladder.hh"
 #include "pdn/second_order.hh"
 #include "sched/oracle_matrix.hh"
@@ -43,6 +45,192 @@ BM_SecondOrderPdnStep(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SecondOrderPdnStep);
+
+// -------------------------------------------------------------------
+// dsp primitive layer (BENCH_pr8): per-sample throughput of the block
+// kernels every hot path now delegates to. Items are samples, so
+// items_per_second reads directly as samples/s per primitive.
+
+constexpr std::size_t kDspBlock = 256;
+
+/** Deterministic activity-like input block in [lo, hi). */
+std::vector<double>
+dspInput(double lo, double hi)
+{
+    std::vector<double> in(kDspBlock);
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+    for (double &v : in) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        v = lo + (hi - lo) * (static_cast<double>(x >> 11) * 0x1.0p-53);
+    }
+    return in;
+}
+
+void
+BM_DspSmoothSlewBlock(benchmark::State &state)
+{
+    const auto in = dspInput(3.0, 9.0);
+    std::vector<double> out(kDspBlock);
+    dsp::SmoothSlew chain{2.0, 1.0 / 3.0, 0.4, 5.0};
+    for (auto _ : state) {
+        chain.processBlock(in.data(), out.data(), kDspBlock);
+        benchmark::DoNotOptimize(chain.prev);
+    }
+    state.SetItemsProcessed(state.iterations() * kDspBlock);
+}
+BENCHMARK(BM_DspSmoothSlewBlock);
+
+void
+BM_DspSumColumns2(benchmark::State &state)
+{
+    const auto in0 = dspInput(3.0, 9.0);
+    const auto in1 = dspInput(4.0, 8.0);
+    std::vector<double> out(kDspBlock);
+    dsp::SmoothSlew chains[2] = {{2.0, 1.0 / 3.0, 0.4, 5.0},
+                                 {2.0, 1.0 / 3.0, 0.4, 6.0}};
+    const double *const cols[2] = {in0.data(), in1.data()};
+    for (auto _ : state) {
+        dsp::processSumColumns(chains, cols, out.data(), kDspBlock);
+        benchmark::DoNotOptimize(chains[0].prev);
+    }
+    state.SetItemsProcessed(state.iterations() * kDspBlock);
+}
+BENCHMARK(BM_DspSumColumns2);
+
+void
+BM_DspActivityMapBlock(benchmark::State &state)
+{
+    const auto in = dspInput(-0.2, 2.8);
+    std::vector<double> out(kDspBlock);
+    const dsp::ActivityMap map{3.0, 1.5, 4.2};
+    for (auto _ : state) {
+        map.processBlock(in.data(), out.data(), kDspBlock);
+        benchmark::DoNotOptimize(out[kDspBlock - 1]);
+    }
+    state.SetItemsProcessed(state.iterations() * kDspBlock);
+}
+BENCHMARK(BM_DspActivityMapBlock);
+
+void
+BM_DspBiquadBlock(benchmark::State &state)
+{
+    const auto load = dspInput(10.0, 40.0);
+    std::vector<double> out(kDspBlock);
+    pdn::PackageConfig cfg;
+    cfg.rippleFraction = 0.0;
+    pdn::SecondOrderPdn pdn(cfg, sim::clockPeriod());
+    const auto bs = pdn.cursor();
+    dsp::BiquadRecurrence biquad{bs.m00, bs.m01, bs.m10,    bs.m11,
+                                 bs.n00, bs.n01, bs.n10,    bs.n11,
+                                 bs.vdd, bs.rc,  bs.invVdd,
+                                 bs.iL,  bs.vC,  bs.vDie};
+    for (auto _ : state) {
+        biquad.processBlock(load.data(), out.data(), kDspBlock);
+        benchmark::DoNotOptimize(biquad.vDie);
+    }
+    state.SetItemsProcessed(state.iterations() * kDspBlock);
+}
+BENCHMARK(BM_DspBiquadBlock);
+
+void
+BM_DspRippleBlock(benchmark::State &state)
+{
+    std::vector<double> out(kDspBlock);
+    const dsp::RippleOscillator osc{0.009 * 1.15, 1e-6};
+    const double dt = sim::clockPeriod().value();
+    double t = 0.0;
+    for (auto _ : state) {
+        osc.processBlock(t, dt, out.data(), kDspBlock);
+        t += dt * static_cast<double>(kDspBlock);
+        benchmark::DoNotOptimize(out[kDspBlock - 1]);
+    }
+    state.SetItemsProcessed(state.iterations() * kDspBlock);
+}
+BENCHMARK(BM_DspRippleBlock);
+
+/** The full PDN block step on the default (rippled) configuration —
+ *  the path the cached-ripple optimization targets. */
+void
+BM_DspPdnStepBlockRipple(benchmark::State &state)
+{
+    const auto load = dspInput(10.0, 40.0);
+    std::vector<double> out(kDspBlock);
+    pdn::SecondOrderPdn pdn(pdn::PackageConfig::core2duo(),
+                            sim::clockPeriod());
+    for (auto _ : state) {
+        pdn.stepBlock(load.data(), out.data(), kDspBlock);
+        benchmark::DoNotOptimize(out[kDspBlock - 1]);
+    }
+    state.SetItemsProcessed(state.iterations() * kDspBlock);
+}
+BENCHMARK(BM_DspPdnStepBlockRipple);
+
+/** The fused cross-lane kernel at the active dispatch level: 8 lanes
+ *  x 2 cores x 256 cycles per call. Items are lane-cycles. */
+void
+BM_DspLaneStep8(benchmark::State &state)
+{
+    constexpr std::size_t kLanes = 8;
+    constexpr std::size_t kCores = 2;
+    std::vector<double> steady(kCores * kLanes * kDspBlock);
+    std::vector<double> total(kLanes * kDspBlock);
+    std::vector<double> deviation(kLanes * kDspBlock);
+    {
+        const auto in = dspInput(4.0, 10.0);
+        for (std::size_t i = 0; i < steady.size(); ++i)
+            steady[i] = in[i % kDspBlock];
+    }
+    simd::LaneStepArgs args;
+    args.n = kDspBlock;
+    args.lanes = kLanes;
+    args.stride = kLanes;
+    args.cores = kCores;
+    for (std::size_t l = 0; l < kLanes; ++l) {
+        for (std::size_t c = 0; c < kCores; ++c)
+            args.steady[c][l] =
+                steady.data() + (c * kLanes + l) * kDspBlock;
+        args.total[l] = total.data() + l * kDspBlock;
+        args.deviation[l] = deviation.data() + l * kDspBlock;
+        args.tau[l] = 2.0;
+        args.alpha[l] = 1.0 / 3.0;
+        args.slew[l] = 0.4;
+        for (std::size_t c = 0; c < kCores; ++c)
+            args.prev[c][l] = 5.0;
+        args.m00[l] = 0.995;
+        args.m01[l] = -0.012;
+        args.m10[l] = 0.018;
+        args.m11[l] = 0.993;
+        args.n00[l] = 0.006;
+        args.n01[l] = 0.0004;
+        args.n10[l] = 0.0002;
+        args.n11[l] = -0.008;
+        args.vdd[l] = 1.15;
+        args.invVdd[l] = 1.0 / 1.15;
+        args.rcDamp[l] = 0.0012;
+        args.dtStep[l] = sim::clockPeriod().value();
+        args.rippleAmp[l] = 0.009 * 1.15;
+        args.ripplePeriod[l] = 1e-6;
+        args.iL[l] = 20.0;
+        args.vC[l] = 1.14;
+        args.vDie[l] = 1.14;
+        args.tTime[l] = 0.0;
+    }
+    const simd::LaneStepFn step = simd::kernels().laneStep;
+    if (!step) {
+        state.SkipWithError("no laneStep kernel at the active level");
+        return;
+    }
+    for (auto _ : state) {
+        step(args);
+        benchmark::DoNotOptimize(args.vDie[0]);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kLanes) *
+                            kDspBlock);
+}
+BENCHMARK(BM_DspLaneStep8);
 
 void
 BM_FastCoreTick(benchmark::State &state)

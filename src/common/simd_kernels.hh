@@ -7,6 +7,12 @@
  * pipeline's operations in the same order — the whole bit-identity
  * argument rests on that (DESIGN.md "Scenario-lane execution").
  *
+ * The per-cycle arithmetic itself lives in dsp/lane_kernels.hh — the
+ * cross-lane forms of the same primitives the scalar hot paths
+ * delegate to (dsp/primitives.hh) — so this file is composition and
+ * data movement only: slot packing, the chip-total accumulation, the
+ * ripple cache, and the gatherT/scatterT block transposes.
+ *
  * Private to the simd_*.cc translation units; include simd.hh for the
  * public dispatch interface.
  */
@@ -16,6 +22,7 @@
 
 #include <cstddef>
 
+#include "dsp/lane_kernels.hh"
 #include "simd.hh"
 
 namespace vsmooth::simd {
@@ -39,13 +46,13 @@ extern const KernelSet kAvx2Kernels;
  *   vDie = vC' + rc * (iL' - total)
  *   deviation = vDie * invVdd - 1.0
  *
- * The conditional smoothing/slew stages become blends (the untaken
- * side is computed and discarded per lane — same result bits), and
- * ripple-free lanes rely on vdd + 0.5*(±0 + ±0) == vdd bitwise, the
- * same short-circuit identity the scalar path documents. ripple(t)
- * is a pure function of the t bits and t advances identically on both
- * paths, so this cycle's ripple(t) is last cycle's cached
- * ripple(t + dt) — one division per cycle instead of two.
+ * The smoothing/slew chain, triangle ripple, and PDN recurrence are
+ * the dsp lane kernels (dsp::LaneSmoothSlew / dsp::LaneRipple /
+ * dsp::LaneBiquad); their headers state the blend-vs-branch and
+ * short-circuit equivalences per primitive. ripple(t) is a pure
+ * function of the t bits and t advances identically on both paths,
+ * so this cycle's ripple(t) is last cycle's cached ripple(t + dt) —
+ * one division per cycle instead of two.
  */
 template <class V>
 void
@@ -62,64 +69,43 @@ laneStepKernel(LaneStepArgs &a)
     const V four = V::set1(4.0);
     const V zero = V::set1(0.0);
 
-    V tauPos[kMaxSlots], alphaV[kMaxSlots];
-    V slewPos[kMaxSlots], slewV[kMaxSlots], negSlewV[kMaxSlots];
+    dsp::LaneSmoothSlew<V> smooth[kMaxSlots];
+    dsp::LaneRipple<V> ripple[kMaxSlots];
+    dsp::LaneBiquad<V> biquad[kMaxSlots];
     V prevV[kMaxLaneCores][kMaxSlots];
-    V m00V[kMaxSlots], m01V[kMaxSlots], m10V[kMaxSlots], m11V[kMaxSlots];
-    V n00V[kMaxSlots], n01V[kMaxSlots], n10V[kMaxSlots], n11V[kMaxSlots];
-    V vddV[kMaxSlots], invVddV[kMaxSlots], rcV[kMaxSlots], dtV[kMaxSlots];
-    V ampV[kMaxSlots], periodV[kMaxSlots];
+    V vddV[kMaxSlots], dtV[kMaxSlots];
     V iLV[kMaxSlots], vCV[kMaxSlots], vDieV[kMaxSlots], tV[kMaxSlots];
     V rPrev[kMaxSlots];
 
-    // Triangle ripple at time t: phase = t/T - floor(t/T) in [0, 1),
-    // tri = 1 - 4*phase below 0.5, 4*phase - 3 above — exactly
-    // SecondOrderPdn::rippleAt()'s expression. t is always >= 0, which
-    // floorNonNeg relies on.
-    auto rippleAt = [&](V t, std::size_t s) {
-        const V q = t / periodV[s];
-        const V ph = q - V::floorNonNeg(q);
-        const V tri = V::blend(four * ph - three, one - four * ph,
-                               V::ltMask(ph, half));
-        return ampV[s] * tri;
-    };
-
     for (std::size_t s = 0; s < slots; ++s) {
         const std::size_t l = s * kW;
-        tauPos[s] = V::gtMask(V::load(a.tau + l), zero);
-        alphaV[s] = V::load(a.alpha + l);
-        slewV[s] = V::load(a.slew + l);
-        slewPos[s] = V::gtMask(slewV[s], zero);
-        negSlewV[s] = zero - slewV[s];
+        smooth[s] = dsp::LaneSmoothSlew<V>::make(
+            V::load(a.tau + l), V::load(a.alpha + l),
+            V::load(a.slew + l), zero);
         for (std::size_t c = 0; c < cores; ++c)
             prevV[c][s] = V::load(a.prev[c] + l);
-        m00V[s] = V::load(a.m00 + l);
-        m01V[s] = V::load(a.m01 + l);
-        m10V[s] = V::load(a.m10 + l);
-        m11V[s] = V::load(a.m11 + l);
-        n00V[s] = V::load(a.n00 + l);
-        n01V[s] = V::load(a.n01 + l);
-        n10V[s] = V::load(a.n10 + l);
-        n11V[s] = V::load(a.n11 + l);
+        biquad[s] = {V::load(a.m00 + l),    V::load(a.m01 + l),
+                     V::load(a.m10 + l),    V::load(a.m11 + l),
+                     V::load(a.n00 + l),    V::load(a.n01 + l),
+                     V::load(a.n10 + l),    V::load(a.n11 + l),
+                     V::load(a.rcDamp + l), V::load(a.invVdd + l)};
         vddV[s] = V::load(a.vdd + l);
-        invVddV[s] = V::load(a.invVdd + l);
-        rcV[s] = V::load(a.rcDamp + l);
         dtV[s] = V::load(a.dtStep + l);
-        ampV[s] = V::load(a.rippleAmp + l);
-        periodV[s] = V::load(a.ripplePeriod + l);
+        ripple[s] = {V::load(a.rippleAmp + l),
+                     V::load(a.ripplePeriod + l)};
         iLV[s] = V::load(a.iL + l);
         vCV[s] = V::load(a.vC + l);
         vDieV[s] = V::load(a.vDie + l);
         tV[s] = V::load(a.tTime + l);
-        rPrev[s] = rippleAt(tV[s], s);
+        rPrev[s] = ripple[s].at(tV[s], one, three, four, half);
     }
 
     // One cycle of one slot: the steady targets for all cores arrive
     // cross-lane-assembled in in[c * inStride]; returns (total,
     // deviation) for the cycle. This is the entire per-cycle
-    // arithmetic — both the batched loop and the tail call it, so the
-    // operations and their order are identical regardless of which
-    // data-movement path fed them.
+    // composition — both the batched loop and the tail call it, so
+    // the operations and their order are identical regardless of
+    // which data-movement path fed them.
     struct SlotOut
     {
         V total, dev;
@@ -129,39 +115,18 @@ laneStepKernel(LaneStepArgs &a)
         // Chip total accumulates from a 0.0 seed in core order,
         // matching the scalar loop's summation exactly.
         V total = zero;
-        for (std::size_t c = 0; c < cores; ++c) {
-            V tgt = in[c * inStride];
-            const V pr = prevV[c][s];
-            const V sm = pr + alphaV[s] * (tgt - pr);
-            tgt = V::blend(tgt, sm, tauPos[s]);
-            // clamp(delta, -slew, slew) as max-then-min: identical
-            // values and bits, including exact-boundary and ±0
-            // cases (finite inputs, so no NaN-operand asymmetry).
-            const V lim = V::min(V::max(tgt - pr, negSlewV[s]),
-                                 slewV[s]);
-            tgt = V::blend(tgt, pr + lim, slewPos[s]);
-            prevV[c][s] = tgt;
-            total = total + tgt;
-        }
+        for (std::size_t c = 0; c < cores; ++c)
+            total = total + smooth[s].sample(in[c * inStride],
+                                             prevV[c][s]);
 
         const V tNext = tV[s] + dtV[s];
-        const V rNext = rippleAt(tNext, s);
+        const V rNext = ripple[s].at(tNext, one, three, four, half);
         const V vddEff = vddV[s] + half * (rPrev[s] + rNext);
-        const V i0 = iLV[s];
-        const V v0 = vCV[s];
-        // Input terms grouped apart from the state terms, the
-        // shared grouping of step()/stepBlock().
-        const V niL = (m00V[s] * i0 + m01V[s] * v0) +
-            (n00V[s] * vddEff + n01V[s] * total);
-        const V nvC = (m10V[s] * i0 + m11V[s] * v0) +
-            (n10V[s] * vddEff + n11V[s] * total);
-        const V vDie = nvC + rcV[s] * (niL - total);
-        iLV[s] = niL;
-        vCV[s] = nvC;
-        vDieV[s] = vDie;
+        const V dev = biquad[s].sample(iLV[s], vCV[s], vDieV[s], vddEff,
+                                       total, one);
         tV[s] = tNext;
         rPrev[s] = rNext;
-        return SlotOut{total, vDie * invVddV[s] - one};
+        return SlotOut{total, dev};
     };
 
     // Batched body: kW cycles at a time, cross-lane assembly done as

@@ -27,6 +27,7 @@
 #include <cstdint>
 
 #include "cpu/perf_counters.hh"
+#include "dsp/primitives.hh"
 
 namespace vsmooth::cpu {
 
@@ -199,11 +200,12 @@ StallEngine::tick(PerfCounters &counters)
 
       case EngineState::RampDown: {
         // Linear drain from the running level to the stall floor;
-        // the first ramp cycle already moves below the running level.
-        const double frac = static_cast<double>(phaseLeft_) /
-            static_cast<double>(rampTotal_ + 1);
-        activity = timing_.stallActivity +
-            (rampStartActivity_ - timing_.stallActivity) * frac;
+        // the first ramp cycle already moves below the running level
+        // (phaseLeft_ == rampTotal_ then, and the dsp ramp divides by
+        // rampTotal_ + 1).
+        activity = dsp::LinearRamp::at(phaseLeft_, rampTotal_,
+                                       rampStartActivity_,
+                                       timing_.stallActivity);
         accounted = cause_;
         if (--phaseLeft_ == 0) {
             if (timing_.stallCycles > 0) {

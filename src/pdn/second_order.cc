@@ -81,18 +81,14 @@ SecondOrderPdn::step(double loadAmps)
     // Average the ripple over the step endpoints (trapezoidal input).
     // The ripple-free short-circuit is exact: rippleAt() returns 0.0
     // on both endpoints, and vdd_ + 0.5 * (0.0 + 0.0) == vdd_
-    // bitwise.
-    const double vdd_eff = rippleAmp_ == 0.0
-        ? vdd_
-        : vdd_ + 0.5 * (rippleAt(time_) + rippleAt(time_ + dt_));
-    const double i0 = iL_;
-    const double v0 = vC_;
-    // Input terms grouped apart from the state terms: the grouping is
-    // shared with the block path, where it keeps the per-sample input
-    // work off the iL/vC carried dependency chain.
-    iL_ = (m00_ * i0 + m01_ * v0) + (n00_ * vdd_eff + n01_ * loadAmps);
-    vC_ = (m10_ * i0 + m11_ * v0) + (n10_ * vdd_eff + n11_ * loadAmps);
-    vDie_ = vC_ + rc_ * (iL_ - loadAmps);
+    // bitwise. The recurrence is the dsp biquad kernel, shared with
+    // the block paths and the cross-lane kernel.
+    const double vddEff =
+        ripple().vddEff(vdd_, time_, dt_);
+    dsp::biquadSample(iL_, vC_, vDie_, m00_, m01_, m10_, m11_,
+                      dsp::biquadInput(n00_, vddEff, n01_, loadAmps),
+                      dsp::biquadInput(n10_, vddEff, n11_, loadAmps),
+                      loadAmps, rc_, invVdd_);
     time_ += dt_;
     return vDie_;
 }
@@ -100,29 +96,52 @@ SecondOrderPdn::step(double loadAmps)
 double
 SecondOrderPdn::rippleAt(double t) const
 {
-    if (rippleAmp_ == 0.0)
-        return 0.0;
     // Triangle wave: the buck output droops between switching events
     // and recharges through the output filter — the recharge edge is
     // filtered, so no discontinuity that would ring the die tank.
-    const double phase = t / ripplePeriod_ - std::floor(t / ripplePeriod_);
-    const double tri = phase < 0.5 ? (1.0 - 4.0 * phase)
-                                   : (4.0 * phase - 3.0);
-    return rippleAmp_ * tri;
+    return dsp::triangleRippleSample(t, ripplePeriod_, rippleAmp_);
 }
 
 void
 SecondOrderPdn::stepBlock(const double *load, double *deviation,
                           std::size_t n)
 {
+    // Chunking is result-invariant: the recurrence is strictly
+    // serial, and the input pass is elementwise, so splitting a block
+    // only moves where state crosses from locals to members.
+    while (n > kChunk) {
+        stepChunk(load, deviation, kChunk);
+        load += kChunk;
+        deviation += kChunk;
+        n -= kChunk;
+    }
+    stepChunk(load, deviation, n);
+}
+
+void
+SecondOrderPdn::stepChunk(const double *load, double *deviation,
+                          std::size_t n)
+{
     // Bit-identity throughout: every sample sees exactly step()'s
     // arithmetic (and the ripple-free short-circuit is exact:
-    // rippleAt() == 0.0 makes vdd_eff == vdd_ bitwise), state merely
+    // rippleAt() == 0.0 makes vddEff == vdd_ bitwise), state merely
     // lives in locals for the duration of the block.
     if (rippleAmp_ != 0.0) {
+        // The ripple is a pure function of the t bits and t advances
+        // identically on every path, so this cycle's ripple(t) is
+        // last cycle's ripple(t + dt) — cache it and pay one
+        // evaluation (one division) per cycle instead of two, the
+        // same cache the cross-lane kernel keeps.
+        const dsp::RippleOscillator osc = ripple();
         BlockStepper s = cursor();
-        for (std::size_t j = 0; j < n; ++j)
-            deviation[j] = s.step(load[j]);
+        double rPrev = osc.at(s.t);
+        for (std::size_t j = 0; j < n; ++j) {
+            const double rNext = osc.at(s.t + s.dt);
+            deviation[j] =
+                s.stepWithVddEff(s.vdd + 0.5 * (rPrev + rNext),
+                                 load[j]);
+            rPrev = rNext;
+        }
         commit(s);
         return;
     }
@@ -133,10 +152,6 @@ SecondOrderPdn::stepBlock(const double *load, double *deviation,
     // only the lean mul+add chain per state. n00*vdd is loop
     // invariant; hoisting it is common-subexpression elimination, not
     // a reordering, so the sums are unchanged.
-    if (scratch0_.size() < n) {
-        scratch0_.resize(n);
-        scratch1_.resize(n);
-    }
     double *const u0 = scratch0_.data();
     double *const u1 = scratch1_.data();
     {
@@ -158,13 +173,10 @@ SecondOrderPdn::stepBlock(const double *load, double *deviation,
     double vDie = vDie_;
     double t = time_;
     for (std::size_t j = 0; j < n; ++j) {
-        const double i0 = iL;
-        const double v0 = vC;
-        iL = (m00 * i0 + m01 * v0) + u0[j];
-        vC = (m10 * i0 + m11 * v0) + u1[j];
-        vDie = vC + rc * (iL - load[j]);
+        deviation[j] =
+            dsp::biquadSample(iL, vC, vDie, m00, m01, m10, m11, u0[j],
+                              u1[j], load[j], rc, invVdd);
         t += dt;
-        deviation[j] = vDie * invVdd - 1.0;
     }
     iL_ = iL;
     vC_ = vC;

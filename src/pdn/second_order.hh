@@ -24,11 +24,12 @@
 #ifndef VSMOOTH_PDN_SECOND_ORDER_HH
 #define VSMOOTH_PDN_SECOND_ORDER_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
 #include "common/units.hh"
+#include "dsp/primitives.hh"
 #include "pdn/package_config.hh"
 
 namespace vsmooth::pdn {
@@ -84,20 +85,30 @@ class SecondOrderPdn
         /** One step; returns the deviation (vDie/vdd - 1). */
         double step(double loadAmps)
         {
-            const double vdd_eff = rippleAmp == 0.0
+            const double vddEff = rippleAmp == 0.0
                 ? vdd
                 : vdd + 0.5 * (pdn->rippleAt(t) + pdn->rippleAt(t + dt));
-            const double i0 = iL;
-            const double v0 = vC;
-            // The input terms are grouped apart from the state terms
-            // (matching step() exactly): they depend only on this
-            // sample's load, which keeps them off the iL/vC carried
-            // dependency chain.
-            iL = (m00 * i0 + m01 * v0) + (n00 * vdd_eff + n01 * loadAmps);
-            vC = (m10 * i0 + m11 * v0) + (n10 * vdd_eff + n11 * loadAmps);
-            vDie = vC + rc * (iL - loadAmps);
+            return stepWithVddEff(vddEff, loadAmps);
+        }
+
+        /**
+         * step() with the effective supply already evaluated — the
+         * hook for block loops that cache the ripple across samples
+         * (this cycle's ripple(t) is last cycle's ripple(t + dt),
+         * bitwise, since the ripple is a pure function of the t
+         * bits). The recurrence is the dsp biquad kernel; its input
+         * terms are grouped apart from the state terms, which keeps
+         * them off the iL/vC carried dependency chain.
+         */
+        double stepWithVddEff(double vddEff, double loadAmps)
+        {
+            const double dev = dsp::biquadSample(
+                iL, vC, vDie, m00, m01, m10, m11,
+                dsp::biquadInput(n00, vddEff, n01, loadAmps),
+                dsp::biquadInput(n10, vddEff, n11, loadAmps), loadAmps,
+                rc, invVdd);
             t += dt;
-            return vDie * invVdd - 1.0;
+            return dev;
         }
     };
 
@@ -158,8 +169,24 @@ class SecondOrderPdn
     /** Resonance frequency of the modeled tank. */
     Hertz resonanceFrequency() const;
 
+    /** The VRM ripple source as a dsp primitive (pure function of
+     *  time — safe to evaluate anywhere). */
+    dsp::RippleOscillator ripple() const
+    {
+        return {rippleAmp_, ripplePeriod_};
+    }
+
   private:
     double rippleAt(double t) const;
+
+    /** stepBlock() for one chunk of n <= kChunk samples. */
+    void stepChunk(const double *load, double *deviation,
+                   std::size_t n);
+
+    /** Chunk size of stepBlock's two-pass fast path: bounds the
+     *  member scratch lanes below (no per-block heap), and matches
+     *  the sim block size so the dominant caller runs one chunk. */
+    static constexpr std::size_t kChunk = 256;
 
     double vdd_;
     /** Precomputed 1/vdd_ for the per-sample deviation scaling. */
@@ -183,10 +210,11 @@ class SecondOrderPdn
     double vDie_ = 0.0;
     double time_ = 0.0;
 
-    /** Scratch lanes for stepBlock's elementwise input pass (sized on
-     *  first use, then reused across blocks). */
-    std::vector<double> scratch0_;
-    std::vector<double> scratch1_;
+    /** Scratch lanes for stepBlock's elementwise input pass: fixed
+     *  kChunk-sized members, so the steady-state tick path never
+     *  allocates (the allocation audit asserts this). */
+    std::array<double, kChunk> scratch0_{};
+    std::array<double, kChunk> scratch1_{};
 };
 
 } // namespace vsmooth::pdn

@@ -1,13 +1,8 @@
 #include "current_model.hh"
 
-#include <algorithm>
-
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
-
 #include "common/logging.hh"
 #include "common/simd.hh"
+#include "dsp/primitives.hh"
 
 namespace vsmooth::power {
 
@@ -24,37 +19,22 @@ double
 CurrentModel::steadyCurrent(double activity) const
 {
     // Restart bursts can briefly exceed the steady-state activity
-    // ceiling (in-rush above sustained max); allow headroom. min/max
-    // composition rather than std::clamp: it compiles branchless
-    // (minsd/maxsd), which lets steadyBlock's elementwise loop
-    // vectorize.
-    const double a = std::min(std::max(activity, 0.0), 2.5);
-    // Clock-gating: the clock tree current shrinks as units gate
-    // off; a small floor remains for the always-on spine.
-    const double clock_current =
-        params_.idleClock.value() *
-        (0.25 + 0.75 * std::min(a, 1.0));
-    return params_.leakage.value() + clock_current +
-        params_.dynamicMax.value() * a;
+    // ceiling (in-rush above sustained max); the map allows that
+    // headroom and models clock gating — see
+    // dsp::activityToCurrentSample for the (branchless) arithmetic.
+    return dsp::activityToCurrentSample(activity,
+                                        params_.leakage.value(),
+                                        params_.idleClock.value(),
+                                        params_.dynamicMax.value());
 }
 
 double
 CurrentModel::currentFor(double activity)
 {
-    double target = steadyCurrent(activity);
-    if (params_.smoothingTauCycles > 0.0) {
-        const double alpha = 1.0 / (1.0 + params_.smoothingTauCycles);
-        target = previous_ + alpha * (target - previous_);
-    }
-    if (params_.maxSlewPerCycle > 0.0) {
-        const double delta = target - previous_;
-        const double limited =
-            std::clamp(delta, -params_.maxSlewPerCycle,
-                       params_.maxSlewPerCycle);
-        target = previous_ + limited;
-    }
-    previous_ = target;
-    return target;
+    const double alpha = 1.0 / (1.0 + params_.smoothingTauCycles);
+    return dsp::smoothSlewSample(previous_, steadyCurrent(activity),
+                                 params_.smoothingTauCycles, alpha,
+                                 params_.maxSlewPerCycle);
 }
 
 void
@@ -75,49 +55,15 @@ CurrentModel::steadyBlock(const double *activity, double *steady,
     const double idleClk = params_.idleClock.value();
     const double dynMax = params_.dynamicMax.value();
     // The AVX2 build registers a 4-wide version of exactly this
-    // arithmetic (same operations, same order); levels below that fall
-    // through to the built-in SSE2/scalar loops, which already are the
-    // reference.
+    // arithmetic (same operations, same order); levels below that
+    // fall through to the dsp map's built-in SSE2/scalar loops, which
+    // already are the reference.
     if (const simd::SteadyFn kernel = simd::kernels().steady) {
         kernel(leak, idleClk, dynMax, activity, steady, n);
         return;
     }
-    std::size_t j = 0;
-#if defined(__SSE2__)
-    // Two lanes at a time with packed min/max: the compiler keeps the
-    // scalar loop branchy (it specializes the clamp comparisons), so
-    // the select is spelled out as maxpd/minpd. Each SIMD lane
-    // performs the same IEEE operations in the same order as the
-    // scalar loop below; activities are finite, so the min/max
-    // NaN-operand convention never comes into play, and clamping
-    // -0.0 to +0.0 is absorbed bit-exactly by the additions.
-    const __m128d vZero = _mm_setzero_pd();
-    const __m128d vCeil = _mm_set1_pd(2.5);
-    const __m128d vOne = _mm_set1_pd(1.0);
-    const __m128d vQuarter = _mm_set1_pd(0.25);
-    const __m128d vThreeQ = _mm_set1_pd(0.75);
-    const __m128d vLeak = _mm_set1_pd(leak);
-    const __m128d vIdle = _mm_set1_pd(idleClk);
-    const __m128d vDyn = _mm_set1_pd(dynMax);
-    for (; j + 2 <= n; j += 2) {
-        __m128d a = _mm_loadu_pd(activity + j);
-        a = _mm_min_pd(_mm_max_pd(a, vZero), vCeil);
-        const __m128d w = _mm_min_pd(a, vOne);
-        const __m128d clock = _mm_mul_pd(
-            vIdle, _mm_add_pd(vQuarter, _mm_mul_pd(vThreeQ, w)));
-        const __m128d s = _mm_add_pd(_mm_add_pd(vLeak, clock),
-                                     _mm_mul_pd(vDyn, a));
-        _mm_storeu_pd(steady + j, s);
-    }
-#endif
-    for (; j < n; ++j) {
-        double a = activity[j];
-        a = a < 0.0 ? 0.0 : a;
-        a = 2.5 < a ? 2.5 : a;
-        const double w = 1.0 < a ? 1.0 : a;
-        const double clock_current = idleClk * (0.25 + 0.75 * w);
-        steady[j] = leak + clock_current + dynMax * a;
-    }
+    dsp::ActivityMap{leak, idleClk, dynMax}.processBlock(activity,
+                                                         steady, n);
 }
 
 void

@@ -17,10 +17,10 @@
 #ifndef VSMOOTH_POWER_CURRENT_MODEL_HH
 #define VSMOOTH_POWER_CURRENT_MODEL_HH
 
-#include <algorithm>
 #include <cstddef>
 
 #include "common/units.hh"
+#include "dsp/primitives.hh"
 
 namespace vsmooth::power {
 
@@ -90,29 +90,21 @@ class CurrentModel
 
         double step(double activity)
         {
-            const double a = std::min(std::max(activity, 0.0), 2.5);
-            const double clock_current =
-                idleClk * (0.25 + 0.75 * std::min(a, 1.0));
-            return smooth(leak + clock_current + dynMax * a);
+            return smooth(dsp::activityToCurrentSample(activity, leak,
+                                                       idleClk, dynMax));
         }
 
         /**
          * The smoothing/slew tail of step() alone, for callers that
          * have already run the elementwise steady-current conversion
          * over a whole lane (steadyBlock): only this part carries
-         * state from sample to sample.
+         * state from sample to sample. Delegates to the dsp fused
+         * chain kernel — the ONE implementation of this recurrence
+         * (dsp/primitives.hh).
          */
         double smooth(double target)
         {
-            if (tau > 0.0)
-                target = prev + alpha * (target - prev);
-            if (slew > 0.0) {
-                const double delta =
-                    std::clamp(target - prev, -slew, slew);
-                target = prev + delta;
-            }
-            prev = target;
-            return target;
+            return dsp::smoothSlewSample(prev, target, tau, alpha, slew);
         }
     };
 

@@ -18,12 +18,15 @@ ResonanceDamper::ResonanceDamper(const ResonanceDamperParams &params)
 bool
 ResonanceDamper::feed(double deviation)
 {
-    // Slow mean tracker (well below the resonance frequency).
-    mean_ += (deviation - mean_) / 256.0;
+    // Slow mean tracker (well below the resonance frequency): a
+    // one-pole smoother with alpha = 1/256. The multiply form is
+    // bit-identical to the old `mean_ += (deviation - mean_) / 256.0`
+    // — scaling by an exact power of two rounds the same either way.
+    const double mean = meanTracker_.sample(deviation);
 
     // Track min/max over half a resonance period; their spread is the
     // oscillation amplitude at (roughly) the resonance frequency.
-    const double centered = deviation - mean_;
+    const double centered = deviation - mean;
     halfPeriodMin_ = std::min(halfPeriodMin_, centered);
     halfPeriodMax_ = std::max(halfPeriodMax_, centered);
     if (++phase_ >= params_.resonancePeriodCycles / 2) {

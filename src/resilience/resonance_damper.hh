@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "common/units.hh"
+#include "dsp/primitives.hh"
 
 namespace vsmooth::resilience {
 
@@ -59,7 +60,9 @@ class ResonanceDamper
 
   private:
     ResonanceDamperParams params_;
-    double mean_ = 0.0;
+    /** Slow baseline tracker; alpha = 1/256 keeps its corner well
+     *  below any plausible resonance frequency. */
+    dsp::OnePoleSmoother meanTracker_{1.0 / 256.0, 0.0};
     double amplitude_ = 0.0;
     double halfPeriodMin_ = 0.0;
     double halfPeriodMax_ = 0.0;

@@ -295,12 +295,15 @@ BatchItem::fromJson(const Json &j, BatchItem &out, std::string *error)
     return true;
 }
 
-std::string
+const std::string &
 BatchItem::canonicalKey() const
 {
     // Fixed field order, no default omission: only parameters that
     // affect the Result participate, so equal keys really do mean
-    // interchangeable cached bytes.
+    // interchangeable cached bytes. Built once; every later caller
+    // (hashing, cache insert, logging) reuses the same bytes.
+    if (!canonicalKey_.empty())
+        return canonicalKey_;
     Json key = Json::object();
     key.set("kind", kind);
     if (kind == "oracle_cell") {
@@ -316,7 +319,8 @@ BatchItem::canonicalKey() const
         if (kind == "fuzz")
             key.set("properties", propertiesJson(properties));
     }
-    return key.dump();
+    canonicalKey_ = key.dump();
+    return canonicalKey_;
 }
 
 Result

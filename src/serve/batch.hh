@@ -77,8 +77,20 @@ struct BatchItem
      * order. Two requests describing the same scenario produce the
      * same key regardless of request-JSON field order or spelled-out
      * defaults. The item id is deliberately excluded.
+     *
+     * Serialized once per item and memoized: lookup, hashing, the
+     * executor's cache insert, and logging all reuse the same bytes
+     * instead of re-walking the config JSON. Not thread-safe on first
+     * call — callers populate it on the submission thread before the
+     * item is shared with executor tasks (the fields are const
+     * thereafter, so later concurrent reads are safe).
      */
-    std::string canonicalKey() const;
+    const std::string &canonicalKey() const;
+
+  private:
+    /** Lazily built canonicalKey() bytes ("" = not built yet; no
+     *  valid key is empty — every key at least carries the kind). */
+    mutable std::string canonicalKey_;
 };
 
 /** Execute one item. Deterministic: equal canonicalKey() implies

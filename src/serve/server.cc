@@ -443,7 +443,10 @@ Server::handleBatch(const std::shared_ptr<Connection> &conn,
         if (item->id.empty())
             item->id = std::to_string(i);
 
-        const std::string key = item->canonicalKey();
+        // Serialized once here on the submission thread and memoized
+        // in the item; the executor task below reuses the same bytes
+        // through its shared_ptr instead of capturing copies.
+        const std::string &key = item->canonicalKey();
         const std::string hash = fnv1aHex(key);
         std::string payload;
         if (cache_.lookup(key, &payload)) {
@@ -456,12 +459,12 @@ Server::handleBatch(const std::shared_ptr<Connection> &conn,
 
         const std::size_t index = i;
         Task task;
-        task.run = [this, state, item, key, hash, index] {
+        task.run = [this, state, item, hash, index] {
             const Result r = runBatchItem(*item);
             std::string bytes = serializeResult(r);
             state->conn->send(resultLine(*state, item->id, index,
                                          "miss", hash, bytes));
-            cache_.insert(key, std::move(bytes));
+            cache_.insert(item->canonicalKey(), std::move(bytes));
             ++state->misses;
             state->finishOne();
         };

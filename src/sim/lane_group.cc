@@ -44,7 +44,8 @@ LaneGroup::finishUntil(Lane &lane)
 void
 LaneGroup::run(std::vector<LanePlan> &plans)
 {
-    std::vector<Lane> lanes;
+    std::vector<Lane> &lanes = lanes_;
+    lanes.clear();
     lanes.reserve(width_);
     std::size_t next = 0;
 

@@ -99,6 +99,9 @@ class LaneGroup
     void stepFused(Lane *const *lanes, std::size_t count, Cycles n);
 
     std::size_t width_;
+    /** Active lanes, reused across run() calls so a steady drain
+     *  never reallocates (capacity is width_ after the first run). */
+    std::vector<Lane> lanes_;
     // stepFused scratch, reused across blocks: per-lane contiguous
     // streams (lane l of core c at column (c*stride + l) of steadyL_),
     // assembled into vectors by the kernel's register gather/scatter.

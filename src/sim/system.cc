@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/logging.hh"
+#include "dsp/primitives.hh"
 
 namespace vsmooth::sim {
 
@@ -298,32 +299,32 @@ System::tickBlock(Cycles n)
     // scalar loop's summation exactly. The steady-current conversion
     // is elementwise, so it runs (vectorizably) over each lane in
     // place first; only the smoothing/slew chain carries state, and
-    // the dominant one- and two-core shapes run those chains in one
-    // fused loop so they overlap in the out-of-order window instead
-    // of running one whole block after the other.
+    // the dominant one- and two-core shapes run those chains through
+    // the dsp K-column fused primitive so they overlap in the
+    // out-of-order window instead of running one whole block after
+    // the other.
     if (nCores == 2) {
         currents_[0].steadyBlock(act, act, nn);
         currents_[1].steadyBlock(act + stride, act + stride, nn);
         auto c0 = currents_[0].cursor();
         auto c1 = currents_[1].cursor();
-        const double *const a0 = act;
-        const double *const a1 = act + stride;
-        for (std::size_t j = 0; j < nn; ++j) {
-            double totalJ = 0.0;
-            totalJ += c0.smooth(a0[j]);
-            totalJ += c1.smooth(a1[j]);
-            total[j] = totalJ;
-        }
+        dsp::SmoothSlew chains[2] = {
+            {c0.tau, c0.alpha, c0.slew, c0.prev},
+            {c1.tau, c1.alpha, c1.slew, c1.prev}};
+        const double *const cols[2] = {act, act + stride};
+        dsp::processSumColumns(chains, cols, total, nn);
+        c0.prev = chains[0].prev;
+        c1.prev = chains[1].prev;
         currents_[0].commit(c0);
         currents_[1].commit(c1);
     } else if (nCores == 1) {
         currents_[0].steadyBlock(act, act, nn);
         auto c0 = currents_[0].cursor();
-        for (std::size_t j = 0; j < nn; ++j) {
-            double totalJ = 0.0;
-            totalJ += c0.smooth(act[j]);
-            total[j] = totalJ;
-        }
+        dsp::SmoothSlew chains[1] = {
+            {c0.tau, c0.alpha, c0.slew, c0.prev}};
+        const double *const cols[1] = {act};
+        dsp::processSumColumns(chains, cols, total, nn);
+        c0.prev = chains[0].prev;
         currents_[0].commit(c0);
     } else {
         std::fill(total, total + nn, 0.0);

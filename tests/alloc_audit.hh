@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Test-only heap-allocation audit.
+ *
+ * alloc_audit.cc replaces the global operator new/delete family for
+ * the whole test binary with counting forwarders onto malloc/free
+ * (ASan-compatible: ASan intercepts at the malloc layer, so poisoning
+ * and leak detection still work). The counters are thread-local, so a
+ * span measured on the test thread is immune to background threads.
+ *
+ * The point: the simulator's steady-state block pipeline —
+ * System::tickBlock and LaneGroup's fused drain — is specified to be
+ * allocation-free after warm-up. These counters let a test *prove*
+ * that, instead of relying on review to catch a stray std::vector in
+ * a per-block path.
+ */
+
+#ifndef VSMOOTH_TESTS_ALLOC_AUDIT_HH
+#define VSMOOTH_TESTS_ALLOC_AUDIT_HH
+
+#include <cstdint>
+
+namespace vsmooth::testing {
+
+/** Monotonic heap-operation counts for the calling thread. */
+struct AllocCounts
+{
+    std::uint64_t allocations = 0;
+    std::uint64_t deallocations = 0;
+};
+
+/** Current counters for this thread (snapshot and subtract). */
+AllocCounts allocCounts();
+
+/**
+ * Measures heap traffic on this thread from its construction point.
+ * Query cheaply and as often as needed; the span never arms or
+ * disarms anything, it only subtracts snapshots.
+ */
+class AllocSpan
+{
+  public:
+    AllocSpan() : start_(allocCounts()) {}
+
+    std::uint64_t allocations() const
+    {
+        return allocCounts().allocations - start_.allocations;
+    }
+
+    std::uint64_t deallocations() const
+    {
+        return allocCounts().deallocations - start_.deallocations;
+    }
+
+  private:
+    AllocCounts start_;
+};
+
+} // namespace vsmooth::testing
+
+#endif // VSMOOTH_TESTS_ALLOC_AUDIT_HH

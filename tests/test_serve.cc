@@ -282,6 +282,32 @@ TEST(ServeBatch, CanonicalKeyIgnoresIdAndFieldOrder)
     EXPECT_NE(fnv1aHex(a), fnv1aHex(c));
 }
 
+TEST(ServeBatch, CanonicalKeyIsSerializedOncePerItem)
+{
+    std::string parseError;
+    const Json j = Json::parse(
+        "{\"config\": {\"seed\": 3, \"cycles\": 2000}}", &parseError);
+    ASSERT_TRUE(parseError.empty()) << parseError;
+    BatchItem item;
+    std::string error;
+    ASSERT_TRUE(BatchItem::fromJson(j, item, &error)) << error;
+
+    // Memoized: every call hands back the same bytes (same object),
+    // so lookup, hashing, and the executor's insert never re-walk the
+    // config JSON.
+    const std::string &first = item.canonicalKey();
+    const std::string &second = item.canonicalKey();
+    EXPECT_EQ(&first, &second);
+    EXPECT_FALSE(first.empty());
+    const std::string firstCopy = first; // `first` aliases the memo
+
+    // Re-parsing into the same item resets the memo with the fields.
+    const Json j2 = Json::parse(
+        "{\"config\": {\"seed\": 4, \"cycles\": 2000}}", &parseError);
+    ASSERT_TRUE(BatchItem::fromJson(j2, item, &error)) << error;
+    EXPECT_NE(item.canonicalKey(), firstCopy);
+}
+
 TEST(ServeBatch, RunBatchItemIsBitDeterministic)
 {
     std::string parseError;

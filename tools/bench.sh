@@ -18,6 +18,10 @@
 #   BENCH_pr6*.json — BM_PopulationSampled with sampling off vs auto
 #     on a 120M-cycle population of long flat workloads; the off vs
 #     auto ratio is the phase-sampled execution speedup.
+#   BENCH_pr8*.json — the BM_Dsp* primitive-layer kernels (per-sample
+#     throughput of each block primitive and the fused cross-lane
+#     step) plus BM_PopulationLaned, whose laned sweep rides on the
+#     same kernels end to end.
 #
 # Shared CI runners are noisy (run-to-run swings of 15-20%), so each
 # benchmark runs several repetitions with random interleaving and the
@@ -33,6 +37,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 case "$(basename "${OUT_JSON}")" in
     BENCH_pr5*) FILTER='Laned' ;;
     BENCH_pr6*) FILTER='BM_PopulationSampled' ;;
+    BENCH_pr8*) FILTER='BM_Dsp|BM_PopulationLaned|BM_SystemTickBlocked' ;;
     *)          FILTER='BM_SystemTick' ;;
 esac
 
@@ -75,4 +80,8 @@ if off and auto_:
     print(f"exact execution:   {off / 1e6:.2f}M cycles/s (median of 5)")
     print(f"sampled execution: {auto_ / 1e6:.2f}M cycles/s (median of 5)")
     print(f"speedup:           {auto_ / off:.2f}x")
+for name, rate in sorted(rates.items()):
+    if name.startswith("BM_Dsp"):
+        short = name.replace("_median", "")
+        print(f"{short}: {rate / 1e6:.1f}M samples/s (median of 5)")
 EOF

@@ -49,6 +49,15 @@ FUZZ_DIR="${BUILD_DIR}-asan"
 cmake -B "${FUZZ_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DVSMOOTH_SANITIZE=address,undefined
 cmake --build "${FUZZ_DIR}" -j "${JOBS}" --target vsmooth_cli
+
+echo "== ASan+UBSan alloc audit: steady-state blocks never allocate =="
+# The interposed operator new/delete counters must read zero across
+# warm System::run and LaneGroup drains, with the sanitizers watching
+# the same paths (ASan intercepts at the malloc layer beneath the
+# interposer, so poisoning still applies).
+cmake --build "${FUZZ_DIR}" -j "${JOBS}" --target vsmooth_tests
+"${FUZZ_DIR}/tests/vsmooth_tests" --gtest_filter='AllocAudit*'
+
 "${FUZZ_DIR}/src/tools/vsmooth" fuzz --seed 1 --iters 2000 \
       --summary "${FUZZ_DIR}/fuzz-summary-a.json"
 "${FUZZ_DIR}/src/tools/vsmooth" fuzz --seed 1 --iters 2000 \
@@ -56,6 +65,15 @@ cmake --build "${FUZZ_DIR}" -j "${JOBS}" --target vsmooth_cli
 cmp "${FUZZ_DIR}/fuzz-summary-a.json" "${FUZZ_DIR}/fuzz-summary-b.json"
 "${FUZZ_DIR}/src/tools/vsmooth" fuzz --corpus tests/corpus \
       --summary "${FUZZ_DIR}/fuzz-corpus-summary.json"
+
+echo "== ASan+UBSan fuzz: blocked vs scalar ticking, 2000 configs =="
+# Dedicated deep pass over the blocked_vs_scalar property: the dsp
+# block kernels (smoothing chains, biquad recurrence, cached ripple)
+# must stay bit-identical to per-cycle stepping on every random
+# config, with the sanitizers watching the chunked block paths.
+"${FUZZ_DIR}/src/tools/vsmooth" fuzz --seed 1 --iters 2000 \
+      --properties blocked_vs_scalar \
+      --summary "${FUZZ_DIR}/fuzz-blocked-summary.json"
 
 echo "== ASan+UBSan fuzz: scenario-lane vs solo equivalence, 2000 configs =="
 # Dedicated deep pass over the laned_vs_scalar property: every random
@@ -122,6 +140,9 @@ wait "${SERVE_PID}"
 
 echo "== bench: phase-sampled long-horizon sweep throughput =="
 tools/bench.sh "${BUILD_DIR}" "${BUILD_DIR}/BENCH_pr6.json"
+
+echo "== bench: dsp primitive-layer throughput =="
+tools/bench.sh "${BUILD_DIR}" "${BUILD_DIR}/BENCH_pr8.json"
 
 echo "== work tree must be clean after a full build+test cycle =="
 # Everything CI produces belongs in the ignored build*/ trees; a
