@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "cpu/fault_injector.hh"
 
 namespace vsmooth::cpu {
 
@@ -36,9 +37,31 @@ Cache::tagOf(Addr addr) const
     return addr >> lineShift_;
 }
 
+void
+Cache::invalidate(Addr addr)
+{
+    const std::uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[static_cast<std::size_t>(set) *
+                         geom_.associativity];
+    for (std::uint32_t w = 0; w < geom_.associativity; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].valid = false;
+            return;
+        }
+    }
+}
+
 bool
 Cache::access(Addr addr)
 {
+    // The fault decision keys on this structure's own access count, so
+    // identical runs replay identical fault sequences regardless of
+    // job or lane partitioning. A flipped line is caught by parity and
+    // dropped, turning the access below into a refetch miss.
+    if (injector_ && injector_->shouldFault(structureId_, hits_ + misses_))
+        invalidate(addr);
+
     const std::uint32_t set = setIndex(addr);
     const Addr tag = tagOf(addr);
     Line *base = &lines_[static_cast<std::size_t>(set) *
@@ -85,6 +108,20 @@ Cache::flush()
 {
     for (auto &line : lines_)
         line.valid = false;
+}
+
+void
+Cache::attachFaultInjector(FaultInjector *injector,
+                           std::size_t structureId)
+{
+    injector_ = injector;
+    structureId_ = structureId;
+}
+
+std::uint64_t
+Cache::faults() const
+{
+    return injector_ ? injector_->faultCount(structureId_) : 0;
 }
 
 double

@@ -17,6 +17,8 @@
 
 namespace vsmooth::cpu {
 
+class FaultInjector;
+
 /** Physical/virtual address type for the synthetic streams. */
 using Addr = std::uint64_t;
 
@@ -46,8 +48,20 @@ class Cache
     /** Invalidate all contents. */
     void flush();
 
+    /**
+     * Route this cache's accesses through an undervolt fault model
+     * (non-owned; nullptr detaches). @p structureId must come from
+     * injector->registerStructure(). A fault on access `hits + misses`
+     * invalidates the addressed line before the lookup, so the access
+     * takes a parity-forced miss.
+     */
+    void attachFaultInjector(FaultInjector *injector,
+                             std::size_t structureId);
+
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
+    /** Bit-flip faults this cache has taken (0 without an injector). */
+    std::uint64_t faults() const;
     double missRate() const;
 
     std::uint32_t numSets() const { return numSets_; }
@@ -63,6 +77,7 @@ class Cache
 
     std::uint32_t setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
+    void invalidate(Addr addr);
 
     CacheGeometry geom_;
     std::uint32_t numSets_;
@@ -71,6 +86,8 @@ class Cache
     std::uint64_t useClock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    FaultInjector *injector_ = nullptr;
+    std::size_t structureId_ = 0;
 };
 
 /** Core 2 (Conroe)-class L1D: 32 KiB, 8-way, 64 B lines. */

@@ -19,6 +19,30 @@ DetailedCore::DetailedCore(const DetailedCoreParams &params,
         ownedL2_ = std::make_unique<Cache>(params.l2);
         l2_ = ownedL2_.get();
     }
+    if (params.enableFaultInjection) {
+        faultInjector_ = std::make_unique<FaultInjector>(params.faultModel,
+                                                         params.faultSeed);
+        l1d_.attachFaultInjector(faultInjector_.get(),
+                                 faultInjector_->registerStructure("l1d"));
+        // A shared L2 belongs to several cores; attaching this core's
+        // injector would make its fault stream depend on which core
+        // constructed last. Only the private L2 is covered here.
+        if (ownedL2_) {
+            ownedL2_->attachFaultInjector(
+                faultInjector_.get(),
+                faultInjector_->registerStructure("l2"));
+        }
+        tlb_.attachFaultInjector(faultInjector_.get(),
+                                 faultInjector_->registerStructure("tlb"));
+        faultInjector_->setMargin(params.faultMargin);
+    }
+}
+
+void
+DetailedCore::setFaultMargin(double margin)
+{
+    if (faultInjector_)
+        faultInjector_->setMargin(margin);
 }
 
 double

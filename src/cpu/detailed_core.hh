@@ -14,6 +14,7 @@
 #include "cpu/branch_predictor.hh"
 #include "cpu/cache.hh"
 #include "cpu/core_model.hh"
+#include "cpu/fault_injector.hh"
 #include "cpu/instruction.hh"
 #include "cpu/stall_engine.hh"
 #include "cpu/tlb.hh"
@@ -33,6 +34,14 @@ struct DetailedCoreParams
     double idleActivity = 0.12;
     /** Activity contribution of a full-width issue cycle. */
     double fullIssueActivity = 1.0;
+    /** Undervolt fault injection into the core's own L1D/L2/TLB
+     *  (disabled by default; a shared L2 is never attached — give it a
+     *  shared injector via Cache::attachFaultInjector if wanted). */
+    bool enableFaultInjection = false;
+    FaultModelParams faultModel{};
+    /** Operating margin the fault model sees. */
+    double faultMargin = 0.05;
+    std::uint64_t faultSeed = 1;
 };
 
 /**
@@ -66,6 +75,11 @@ class DetailedCore : public CoreModel
     const Tlb &tlb() const { return tlb_; }
     const BranchPredictor &predictor() const { return predictor_; }
     const StallEngine &engine() const { return engine_; }
+    /** Fault injector, or nullptr when fault injection is disabled. */
+    const FaultInjector *faultInjector() const
+    { return faultInjector_.get(); }
+    /** Retarget the fault model's margin mid-run (adaptive sweeps). */
+    void setFaultMargin(double margin);
 
   private:
     DetailedCoreParams params_;
@@ -77,6 +91,7 @@ class DetailedCore : public CoreModel
     BranchPredictor predictor_;
     StallEngine engine_;
     PerfCounters counters_;
+    std::unique_ptr<FaultInjector> faultInjector_;
 };
 
 } // namespace vsmooth::cpu

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "cpu/fault_injector.hh"
 
 namespace vsmooth::cpu {
 
@@ -20,6 +21,16 @@ bool
 Tlb::access(Addr addr)
 {
     const Addr vpn = addr >> pageShift_;
+    // Same index-derived fault draw as Cache::access: a flipped entry
+    // is dropped before the lookup, forcing a page walk.
+    if (injector_ && injector_->shouldFault(structureId_, hits_ + misses_)) {
+        for (auto &e : entries_) {
+            if (e.valid && e.vpn == vpn) {
+                e.valid = false;
+                break;
+            }
+        }
+    }
     ++useClock_;
     Entry *victim = &entries_.front();
     for (auto &e : entries_) {
@@ -39,6 +50,19 @@ Tlb::access(Addr addr)
     victim->lastUse = useClock_;
     ++misses_;
     return false;
+}
+
+void
+Tlb::attachFaultInjector(FaultInjector *injector, std::size_t structureId)
+{
+    injector_ = injector;
+    structureId_ = structureId;
+}
+
+std::uint64_t
+Tlb::faults() const
+{
+    return injector_ ? injector_->faultCount(structureId_) : 0;
 }
 
 void

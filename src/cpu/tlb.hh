@@ -35,8 +35,16 @@ class Tlb
 
     void flush();
 
+    /** Route translations through an undervolt fault model (see
+     *  Cache::attachFaultInjector); a fault drops the addressed entry
+     *  before the lookup, forcing a page walk. */
+    void attachFaultInjector(FaultInjector *injector,
+                             std::size_t structureId);
+
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
+    /** Bit-flip faults this TLB has taken (0 without an injector). */
+    std::uint64_t faults() const;
     std::uint32_t numEntries() const
     { return static_cast<std::uint32_t>(entries_.size()); }
     std::uint32_t pageBytes() const { return pageBytes_; }
@@ -55,6 +63,8 @@ class Tlb
     std::uint64_t useClock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    FaultInjector *injector_ = nullptr;
+    std::size_t structureId_ = 0;
 };
 
 } // namespace vsmooth::cpu

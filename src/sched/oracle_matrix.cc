@@ -114,9 +114,13 @@ OracleMatrix::buildMeasure(std::size_t i, std::size_t j,
         sys.addCore(std::make_unique<cpu::FastCore>(
             workload::idleSchedule(1000), base + 2));
     } else {
+        // An aligned self-pair reuses the first core's seed: identical
+        // schedule + identical seed = lockstep streams whose current
+        // transients stack in the same cycle.
+        const bool aligned = cfg_.alignedSelfPairs && i == j;
         sys.addCore(std::make_unique<cpu::FastCore>(
             workload::scheduleFor(suite_[j], cfg_.cyclesPerPair, true),
-            base + 2));
+            aligned ? base + 1 : base + 2));
     }
     return sys;
 }

@@ -42,6 +42,14 @@ struct OracleConfig
     /** Droop-counting margin (the paper's 2.3 %). */
     double droopMargin = sim::kIdleMargin;
     std::uint64_t seed = 12345;
+    /**
+     * Model self-pairs (i, i) as phase-aligned: both copies get the
+     * same stream seed and run in lockstep, the worst case a
+     * SPECrate-style simultaneous launch produces on real hardware.
+     * Off by default — the classic matrix treats the two copies as
+     * independently phased.
+     */
+    bool alignedSelfPairs = false;
 };
 
 /** The NxN pair-profile matrix over a benchmark suite. */

@@ -14,6 +14,7 @@ policyName(PolicyKind kind)
       case PolicyKind::Random: return "Random";
       case PolicyKind::Ipc: return "IPC";
       case PolicyKind::Droop: return "Droop";
+      case PolicyKind::DroopWorstFirst: return "Droop (worst-first)";
       case PolicyKind::IpcOverDroopN: return "IPC/Droop^n";
       default: return "?";
     }
@@ -62,6 +63,37 @@ buildSchedule(std::vector<std::size_t> pool, const OracleMatrix &matrix,
     if (kind == PolicyKind::Random) {
         for (std::size_t i = 0; i + 1 < pool.size(); i += 2)
             schedule.push_back({pool[i], pool[i + 1]});
+        return schedule;
+    }
+
+    if (kind == PolicyKind::DroopWorstFirst) {
+        // Commit the noisiest remaining job (by its solo droop rate)
+        // together with the partner that minimizes the pair's droops.
+        // Post-shuffle pool order breaks ties, like the greedy below.
+        std::vector<bool> used(pool.size(), false);
+        for (std::size_t round = 0; round < pool.size() / 2; ++round) {
+            std::size_t worst = pool.size();
+            for (std::size_t i = 0; i < pool.size(); ++i) {
+                if (used[i])
+                    continue;
+                if (worst == pool.size() ||
+                    matrix.single(pool[i]).droopsPer1k >
+                        matrix.single(pool[worst]).droopsPer1k)
+                    worst = i;
+            }
+            used[worst] = true;
+            std::size_t mate = pool.size();
+            for (std::size_t j = 0; j < pool.size(); ++j) {
+                if (used[j])
+                    continue;
+                if (mate == pool.size() ||
+                    matrix.pair(pool[worst], pool[j]).droopsPer1k <
+                        matrix.pair(pool[worst], pool[mate]).droopsPer1k)
+                    mate = j;
+            }
+            used[mate] = true;
+            schedule.push_back({pool[worst], pool[mate]});
+        }
         return schedule;
     }
 

@@ -9,6 +9,11 @@
  *    contention-aware co-scheduling objective).
  *  - Droop: voltage-noise-aware, minimizes chip-wide droops — the
  *    paper's proposal.
+ *  - DroopWorstFirst: the same objective placed worst-first — the
+ *    noisiest remaining job is committed with whichever partner
+ *    smooths it best. Plain greedy banks the quietest pairs early and
+ *    strands the noise generators with each other; worst-first spends
+ *    the quiet jobs where they buy the most smoothing.
  *  - IpcOverDroopN: the hybrid IPC/Droop^n metric that weighs noise
  *    by the platform's recovery cost (Sec IV-D).
  *
@@ -45,6 +50,7 @@ enum class PolicyKind
     Random,
     Ipc,
     Droop,
+    DroopWorstFirst,
     IpcOverDroopN,
 };
 

@@ -70,6 +70,14 @@ summaryMetrics(const simtest::RunSummary &s, Result &r)
         r.series("timeline", s.timeline);
     if (!s.traceSamples.empty())
         r.series("trace_samples", s.traceSamples);
+    if (s.controllerActive) {
+        r.metric("ctrl_final_margin", s.ctrlFinalMargin);
+        r.metric("ctrl_avg_margin", s.ctrlAvgMargin);
+        r.metric("ctrl_min_margin", s.ctrlMinMargin);
+        r.metric("ctrl_max_margin", s.ctrlMaxMargin);
+        r.metricCount("ctrl_updates", s.ctrlUpdates);
+        r.metricCount("ctrl_widenings", s.ctrlWidenings);
+    }
 }
 
 Result
@@ -182,6 +190,55 @@ runOracleCellItem(const BatchItem &item)
 }
 
 Result
+runAdaptiveMarginItem(const BatchItem &item)
+{
+    // fromJson coerced the controller on, so this is a summary run
+    // whose Result carries the ctrl_* margin-trajectory metrics.
+    Result r("serve/adaptive_margin");
+    r.setSeed(item.cfg.seed);
+    r.setJobs(item.cfg.jobs);
+    const simtest::RunSummary s =
+        simtest::summarizeRun(item.cfg, /*forceScalar=*/false);
+    summaryMetrics(s, r);
+    return r;
+}
+
+Result
+runFaultSweepItem(const BatchItem &item)
+{
+    // The rig is a detailed core; cap the per-margin run so a sweep
+    // stays a serving-sized item even at kMaxCycles configs.
+    const Cycles cycles = std::min<Cycles>(item.cfg.cycles, 200'000);
+    const auto counts = parallelMap<simtest::FaultRigCounts>(
+        item.faultMargins.size(), [&](std::size_t i) {
+            return simtest::runFaultRig(item.cfg.seed,
+                                        item.faultMargins[i],
+                                        item.cfg.faultRate, cycles);
+        });
+
+    Result r("serve/fault_sweep");
+    r.setSeed(item.cfg.seed);
+    r.setJobs(item.cfg.jobs);
+    r.metricCount("cycles_per_margin", cycles);
+    r.metric("rate_at_zero_margin", item.cfg.faultRate);
+    r.series("margins", item.faultMargins);
+    auto series = [&](const char *name, auto field) {
+        std::vector<double> vs(counts.size());
+        for (std::size_t i = 0; i < counts.size(); ++i)
+            vs[i] = static_cast<double>(counts[i].*field);
+        r.series(name, std::move(vs));
+    };
+    series("faults_l1d", &simtest::FaultRigCounts::l1dFaults);
+    series("faults_l2", &simtest::FaultRigCounts::l2Faults);
+    series("faults_tlb", &simtest::FaultRigCounts::tlbFaults);
+    series("misses_l1d", &simtest::FaultRigCounts::l1dMisses);
+    series("misses_l2", &simtest::FaultRigCounts::l2Misses);
+    series("misses_tlb", &simtest::FaultRigCounts::tlbMisses);
+    series("instructions", &simtest::FaultRigCounts::instructions);
+    return r;
+}
+
+Result
 runFuzzItem(const BatchItem &item)
 {
     std::vector<std::string> names = item.properties;
@@ -227,7 +284,8 @@ BatchItem::fromJson(const Json &j, BatchItem &out, std::string *error)
         out.kind = k->asString();
     }
     const bool usesConfig = out.kind == "summary" ||
-        out.kind == "population" || out.kind == "fuzz";
+        out.kind == "population" || out.kind == "fuzz" ||
+        out.kind == "adaptive_margin" || out.kind == "fault_sweep";
     if (out.kind == "oracle_cell") {
         const Json *a = j.find("bench_a");
         const Json *b = j.find("bench_b");
@@ -288,9 +346,34 @@ BatchItem::fromJson(const Json &j, BatchItem &out, std::string *error)
                 }
             }
         }
+        if (out.kind == "adaptive_margin") {
+            // Coerce the controller on *at parse time* so the
+            // canonical cache key describes the scenario actually
+            // executed (the fixed fail-safe is dropped — the two are
+            // mutually exclusive margin authorities).
+            out.cfg.controller = true;
+            out.cfg.emergencyMargin = 0.0;
+            out.cfg.recoveryCost = 0;
+        }
+        if (out.kind == "fault_sweep") {
+            if (const Json *m = j.find("margins")) {
+                if (!m->isArray() || m->asArray().empty())
+                    return fail("'margins' is not a non-empty array");
+                if (m->asArray().size() > 16)
+                    return fail("'margins' has more than 16 entries");
+                out.faultMargins.clear();
+                for (const Json &v : m->asArray()) {
+                    if (!v.isNumber() || v.asNumber() < 0.0 ||
+                        v.asNumber() > 0.25)
+                        return fail("sweep margin outside [0, 0.25]");
+                    out.faultMargins.push_back(v.asNumber());
+                }
+            }
+        }
     } else {
         return fail("unknown experiment kind '" + out.kind +
-                    "' (summary|population|oracle_cell|fuzz)");
+                    "' (summary|population|oracle_cell|fuzz|"
+                    "adaptive_margin|fault_sweep)");
     }
     return true;
 }
@@ -318,6 +401,12 @@ BatchItem::canonicalKey() const
             key.set("population", Json(population));
         if (kind == "fuzz")
             key.set("properties", propertiesJson(properties));
+        if (kind == "fault_sweep") {
+            Json margins = Json::array();
+            for (double m : faultMargins)
+                margins.push(Json(m));
+            key.set("margins", margins);
+        }
     }
     canonicalKey_ = key.dump();
     return canonicalKey_;
@@ -332,6 +421,10 @@ runBatchItem(const BatchItem &item)
         return runPopulationItem(item);
     if (item.kind == "oracle_cell")
         return runOracleCellItem(item);
+    if (item.kind == "adaptive_margin")
+        return runAdaptiveMarginItem(item);
+    if (item.kind == "fault_sweep")
+        return runFaultSweepItem(item);
     return runFuzzItem(item);
 }
 

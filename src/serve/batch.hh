@@ -4,7 +4,7 @@
  *
  * A batch item is an experiment kind plus a `simtest` scenario config
  * (the same FuzzConfig JSON the fuzzer replays), and for some kinds a
- * few kind-specific parameters. Four kinds cover the paper's serving
+ * few kind-specific parameters. Six kinds cover the paper's serving
  * workloads:
  *
  *   - "summary":     one full-stack run, every observable reduced to
@@ -15,7 +15,14 @@
  *                    matrix (Sec IV-C) — droops/1k and combined IPC
  *                    for a benchmark pair;
  *   - "fuzz":        the property registry checked against the
- *                    config (a fuzz-campaign cell).
+ *                    config (a fuzz-campaign cell);
+ *   - "adaptive_margin": the config run with the closed-loop margin
+ *                    controller coerced on (the fixed fail-safe is
+ *                    dropped — one margin authority), reporting the
+ *                    controller's margin trajectory observables;
+ *   - "fault_sweep": the fault-injection rig swept across a margin
+ *                    list, reporting per-structure fault/miss counts
+ *                    at each margin.
  *
  * Execution is deterministic by construction: every seed is derived
  * from the item's config and the run index, never from server state,
@@ -61,6 +68,11 @@ struct BatchItem
     // --- fuzz --------------------------------------------------------
     /** Property names to check (empty = whole registry). */
     std::vector<std::string> properties;
+
+    // --- fault_sweep -------------------------------------------------
+    /** Margins the fault rig is swept across (descending default
+     *  covers safe down to deep undervolt). */
+    std::vector<double> faultMargins{0.05, 0.04, 0.03, 0.02, 0.01};
 
     /**
      * Parse one item from a batch request. Unknown kinds, invalid

@@ -63,16 +63,31 @@ System::System(const SystemConfig &cfg)
         predictor_.emplace(cfg.predictorParams);
     if (cfg.enableResonanceDamper)
         damper_.emplace(cfg.damperParams);
+    if (cfg.enableMarginController) {
+        if (cfg.emergencyMargin > 0.0)
+            fatal("System: margin controller and fixed emergency margin "
+                  "are mutually exclusive (one margin authority)");
+        if (cfg.recoveryCostCycles == 0)
+            fatal("System: margin controller set but recovery cost is 0");
+        auto params = cfg.marginControllerParams;
+        if (params.updateInterval == 0) {
+            params.updateInterval =
+                cfg.osTickInterval ? cfg.osTickInterval : Cycles(10'000);
+        }
+        marginController_.emplace(
+            params, pdn::secondOrderEquivalent(cfg.package).vdd);
+    }
 
     // The batched fast path is sound only when nothing feeds a
     // per-cycle observation back into execution: the emergency
-    // detector injects recovery stalls, the predictor and damper
-    // throttle, and split rails need per-cycle per-core currents.
-    // OS-tick injections are handled by truncating blocks at the
-    // injection cycle, so they do not disqualify the fast path.
+    // detector and margin controller inject recovery stalls, the
+    // predictor and damper throttle, and split rails need per-cycle
+    // per-core currents. OS-tick injections are handled by truncating
+    // blocks at the injection cycle, so they do not disqualify the
+    // fast path.
     blockEligible_ = cfg_.enableBlockedExecution && !scalarTickForced() &&
         !emergencyDetector_ && !predictor_ && !damper_ &&
-        !cfg_.splitSupplies;
+        !marginController_ && !cfg_.splitSupplies;
 }
 
 std::size_t
@@ -249,6 +264,17 @@ System::tick()
         trace_->record(cycles_, dev, total);
 
     if (emergencyDetector_ && emergencyDetector_->feed(dev)) {
+        ++emergencies_;
+        if (predictor)
+            predictor->observeEmergency();
+        for (auto &core : cores_)
+            core->injectRecoveryStall(cfg_.recoveryCostCycles);
+    }
+
+    // A violation of the controller's dynamic margin is an emergency
+    // like any other: same chip-wide rollback, same counter. The
+    // controller itself widens its margin before returning.
+    if (marginController_ && marginController_->feed(dev)) {
         ++emergencies_;
         if (predictor)
             predictor->observeEmergency();

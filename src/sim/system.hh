@@ -26,6 +26,7 @@
 #include "cpu/core_model.hh"
 #include "noise/droop_detector.hh"
 #include "resilience/emergency_predictor.hh"
+#include "resilience/margin_controller.hh"
 #include "resilience/resonance_damper.hh"
 #include "noise/scope.hh"
 #include "noise/timeline.hh"
@@ -77,6 +78,20 @@ struct SystemConfig
     resilience::ResonanceDamperParams damperParams{};
     /** Activity multiplier applied while a mitigation throttles. */
     double throttleFactor = 0.6;
+
+    /**
+     * Closed-loop adaptive margin: a PI controller reads the simulated
+     * ring-oscillator slack at the OS-tick cadence and trims the
+     * operating margin toward the thinnest level the observed noise
+     * supports; a droop violating the *current* margin triggers the
+     * same chip-wide recovery as the fixed-margin engine and widens
+     * the margin. Mutually exclusive with emergencyMargin (one margin
+     * authority per chip) and requires recoveryCostCycles > 0. A
+     * marginControllerParams.updateInterval of 0 resolves to
+     * osTickInterval.
+     */
+    bool enableMarginController = false;
+    resilience::MarginControllerParams marginControllerParams{};
 
     /**
      * OS timer-tick interval in cycles (0 disables). Every interval,
@@ -180,6 +195,9 @@ class System
     /** The resonance damper, if enabled (nullptr otherwise). */
     const resilience::ResonanceDamper *damper() const
     { return damper_ ? &*damper_ : nullptr; }
+    /** The adaptive margin controller, if enabled (nullptr otherwise). */
+    const resilience::MarginController *marginController() const
+    { return marginController_ ? &*marginController_ : nullptr; }
 
     const SystemConfig &config() const { return cfg_; }
 
@@ -252,6 +270,7 @@ class System
     std::optional<noise::TraceWriter> trace_;
     std::optional<resilience::EmergencyPredictor> predictor_;
     std::optional<resilience::ResonanceDamper> damper_;
+    std::optional<resilience::MarginController> marginController_;
     /** Last-seen per-core event counts (for predictor event feed). */
     std::vector<std::array<std::uint64_t, cpu::PerfCounters::kNumCauses>>
         lastEventCounts_;

@@ -100,6 +100,21 @@ FuzzConfig::valid(std::string *why) const
         return fail("emergencyMargin outside [0, 0.25]");
     if (emergencyMargin > 0.0 && recoveryCost == 0)
         return fail("emergencyMargin > 0 requires recoveryCost >= 1");
+    if (controller && emergencyMargin > 0.0)
+        return fail("controller and emergencyMargin are mutually "
+                    "exclusive");
+    if (controller && ctrlRecoveryCost == 0)
+        return fail("controller requires ctrlRecoveryCost >= 1");
+    if (!(ctrlMinMargin > 0.0 && ctrlMinMargin <= ctrlInitialMargin &&
+          ctrlInitialMargin <= ctrlMaxMargin && ctrlMaxMargin <= 0.25))
+        return fail("need 0 < ctrlMinMargin <= ctrlInitialMargin <= "
+                    "ctrlMaxMargin <= 0.25");
+    if (!(ctrlWidenStep >= 0.0 && ctrlWidenStep <= 0.1))
+        return fail("ctrlWidenStep outside [0, 0.1]");
+    if (!(faultMargin >= 0.0 && faultMargin <= 0.25))
+        return fail("faultMargin outside [0, 0.25]");
+    if (!(faultRate >= 0.0 && faultRate <= 1.0))
+        return fail("faultRate outside [0, 1]");
     if (jobs < 1 || jobs > kMaxJobs)
         return fail("jobs outside [1, " + std::to_string(kMaxJobs) + "]");
     if (samplingWindow < 1 || samplingWindow > 64)
@@ -159,6 +174,15 @@ FuzzConfig::toJson(bool omitDefaults) const
     boolean("predictor", predictor, def.predictor);
     boolean("damper", damper, def.damper);
     boolean("split", split, def.split);
+    boolean("controller", controller, def.controller);
+    num("ctrlInitialMargin", ctrlInitialMargin, def.ctrlInitialMargin);
+    num("ctrlMinMargin", ctrlMinMargin, def.ctrlMinMargin);
+    num("ctrlMaxMargin", ctrlMaxMargin, def.ctrlMaxMargin);
+    num("ctrlWidenStep", ctrlWidenStep, def.ctrlWidenStep);
+    num("ctrlRecoveryCost", static_cast<double>(ctrlRecoveryCost),
+        static_cast<double>(def.ctrlRecoveryCost));
+    num("faultMargin", faultMargin, def.faultMargin);
+    num("faultRate", faultRate, def.faultRate);
     num("jobs", static_cast<double>(jobs),
         static_cast<double>(def.jobs));
     num("samplingWindow", static_cast<double>(samplingWindow),
@@ -243,6 +267,23 @@ FuzzConfig::fromJson(const Json &j, FuzzConfig &out, std::string *error)
             out.damper = v.asBool();
         } else if (key == "split" && v.isBool()) {
             out.split = v.asBool();
+        } else if (key == "controller" && v.isBool()) {
+            out.controller = v.asBool();
+        } else if (key == "ctrlInitialMargin" && needNumber()) {
+            out.ctrlInitialMargin = v.asNumber();
+        } else if (key == "ctrlMinMargin" && needNumber()) {
+            out.ctrlMinMargin = v.asNumber();
+        } else if (key == "ctrlMaxMargin" && needNumber()) {
+            out.ctrlMaxMargin = v.asNumber();
+        } else if (key == "ctrlWidenStep" && needNumber()) {
+            out.ctrlWidenStep = v.asNumber();
+        } else if (key == "ctrlRecoveryCost" && needNumber()) {
+            out.ctrlRecoveryCost =
+                static_cast<std::uint32_t>(v.asNumber());
+        } else if (key == "faultMargin" && needNumber()) {
+            out.faultMargin = v.asNumber();
+        } else if (key == "faultRate" && needNumber()) {
+            out.faultRate = v.asNumber();
         } else if (key == "jobs" && needNumber()) {
             out.jobs = static_cast<std::uint64_t>(v.asNumber());
         } else if (key == "samplingWindow" && needNumber()) {
@@ -340,6 +381,33 @@ fuzzConfigGen()
         cfg.predictor = rng.bernoulli(0.1);
         cfg.damper = rng.bernoulli(0.1);
         cfg.split = rng.bernoulli(0.1);
+
+        // The adaptive margin controller also forces the scalar path;
+        // it cannot coexist with the fixed fail-safe (one margin
+        // authority), so it only arms on droop-free draws.
+        if (!(cfg.emergencyMargin > 0.0) && rng.bernoulli(0.12)) {
+            cfg.controller = true;
+            cfg.ctrlMinMargin = rng.uniform(0.01, 0.04);
+            cfg.ctrlMaxMargin =
+                cfg.ctrlMinMargin + rng.uniform(0.02, 0.12);
+            cfg.ctrlInitialMargin =
+                rng.uniform(cfg.ctrlMinMargin, cfg.ctrlMaxMargin);
+            cfg.ctrlWidenStep = rng.bernoulli(0.2)
+                ? 0.0
+                : rng.uniform(0.002, 0.03);
+            cfg.ctrlRecoveryCost = static_cast<std::uint32_t>(
+                rng.uniformInt(1, 2'000));
+        }
+
+        // Undervolt fault model: the exact safe margin (zero faults)
+        // keeps real weight, the rest of the draws thin the margin so
+        // the fault paths see traffic.
+        cfg.faultMargin = rng.bernoulli(0.4)
+            ? 0.05
+            : rng.uniform(0.0, 0.06);
+        cfg.faultRate = rng.bernoulli(0.3)
+            ? 1e-3
+            : logUniformGen(1e-4, 0.05)(rng);
 
         cfg.jobs = rng.uniformInt(1, 6);
 

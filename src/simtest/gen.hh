@@ -174,6 +174,26 @@ struct FuzzConfig
     bool damper = false;
     bool split = false;
 
+    // --- Adaptive margin controller (disables the blocked fast path) ----
+    /** Closed-loop PI margin trimming (mutually exclusive with
+     *  emergencyMargin — one margin authority per chip). */
+    bool controller = false;
+    double ctrlInitialMargin = 0.08;
+    double ctrlMinMargin = 0.02;
+    double ctrlMaxMargin = 0.14;
+    /** Margin widening per violated droop (0 disables widening). */
+    double ctrlWidenStep = 0.01;
+    /** Recovery cost in cycles for controller-detected violations
+     *  (>= 1 when controller is set). */
+    std::uint32_t ctrlRecoveryCost = 200;
+
+    // --- Undervolt fault model (fault_injection_determinism) ------------
+    /** Margin the fault model sees; at the default (= the model's safe
+     *  margin) the fault probability is exactly zero. */
+    double faultMargin = 0.05;
+    /** Per-access fault probability at margin 0. */
+    double faultRate = 1e-3;
+
     // --- Sweep parallelism ----------------------------------------------
     /** Worker threads for the parallel==serial property. */
     std::uint64_t jobs = 2;

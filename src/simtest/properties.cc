@@ -9,6 +9,7 @@
 #include "common/parallel.hh"
 #include "common/result.hh"
 #include "common/simd.hh"
+#include "cpu/detailed_core.hh"
 #include "cpu/fast_core.hh"
 #include "pdn/package_config.hh"
 #include "pdn/second_order.hh"
@@ -49,6 +50,14 @@ toSystemConfig(const FuzzConfig &cfg, bool forceScalar)
     if (cfg.emergencyMargin > 0.0) {
         sys.emergencyMargin = cfg.emergencyMargin;
         sys.recoveryCostCycles = cfg.recoveryCost;
+    }
+    if (cfg.controller) {
+        sys.enableMarginController = true;
+        sys.marginControllerParams.initialMargin = cfg.ctrlInitialMargin;
+        sys.marginControllerParams.minMargin = cfg.ctrlMinMargin;
+        sys.marginControllerParams.maxMargin = cfg.ctrlMaxMargin;
+        sys.marginControllerParams.widenStep = cfg.ctrlWidenStep;
+        sys.recoveryCostCycles = cfg.ctrlRecoveryCost;
     }
     sys.enableBlockedExecution = !forceScalar;
     // The differential properties compare exact execution paths;
@@ -116,6 +125,38 @@ describeVector(const char *what, const std::vector<T> &a,
     return true;
 }
 
+/** Deterministic mixed load/branch stream over an 8 MiB footprint —
+ *  larger than the L2 and the TLB reach, so l1d, l2, and tlb all take
+ *  misses the fault model can perturb. */
+class MixedStream final : public cpu::InstructionSource
+{
+  public:
+    explicit MixedStream(std::uint64_t seed) : rng_(seed) {}
+
+    cpu::SyntheticInstruction
+    next() override
+    {
+        cpu::SyntheticInstruction in;
+        in.pc = pc_;
+        pc_ += 4;
+        const double p = rng_.uniform();
+        if (p < 0.45) {
+            in.isMemory = true;
+            in.memAddr = rng_.uniformInt(0, kLines - 1) * 64;
+        } else if (p < 0.65) {
+            in.isBranch = true;
+            in.branchTaken = rng_.bernoulli(0.6);
+        }
+        return in;
+    }
+
+  private:
+    static constexpr std::uint64_t kLines = (8ull << 20) / 64;
+
+    Rng rng_;
+    cpu::Addr pc_ = 0x1000;
+};
+
 } // namespace
 
 RunSummary
@@ -174,6 +215,16 @@ summarizeSystem(sim::System &sys, const FuzzConfig &cfg)
             s.traceSamples.push_back(t.currentAmps);
         }
     }
+
+    if (const auto *mc = sys.marginController()) {
+        s.controllerActive = true;
+        s.ctrlFinalMargin = mc->margin();
+        s.ctrlAvgMargin = mc->averageMargin();
+        s.ctrlMinMargin = mc->minMarginSeen();
+        s.ctrlMaxMargin = mc->maxMarginSeen();
+        s.ctrlUpdates = mc->updates();
+        s.ctrlWidenings = mc->widenings();
+    }
     return s;
 }
 
@@ -196,6 +247,29 @@ firstDifference(const RunSummary &a, const RunSummary &b)
     if (a.emergencies != b.emergencies)
         return "emergencies " + std::to_string(a.emergencies) + " != " +
             std::to_string(b.emergencies);
+    if (a.controllerActive != b.controllerActive)
+        return std::string("controller active ") +
+            (a.controllerActive ? "true" : "false") + " != " +
+            (b.controllerActive ? "true" : "false");
+    if (a.ctrlFinalMargin != b.ctrlFinalMargin)
+        return "controller final margin " + num(a.ctrlFinalMargin) +
+            " != " + num(b.ctrlFinalMargin);
+    if (a.ctrlAvgMargin != b.ctrlAvgMargin)
+        return "controller average margin " + num(a.ctrlAvgMargin) +
+            " != " + num(b.ctrlAvgMargin);
+    if (a.ctrlMinMargin != b.ctrlMinMargin ||
+        a.ctrlMaxMargin != b.ctrlMaxMargin) {
+        return "controller margin range " + num(a.ctrlMinMargin) + "/" +
+            num(a.ctrlMaxMargin) + " != " + num(b.ctrlMinMargin) + "/" +
+            num(b.ctrlMaxMargin);
+    }
+    if (a.ctrlUpdates != b.ctrlUpdates)
+        return "controller updates " + std::to_string(a.ctrlUpdates) +
+            " != " + std::to_string(b.ctrlUpdates);
+    if (a.ctrlWidenings != b.ctrlWidenings)
+        return "controller widenings " +
+            std::to_string(a.ctrlWidenings) + " != " +
+            std::to_string(b.ctrlWidenings);
     if (a.histTotal != b.histTotal)
         return "histogram total " + std::to_string(a.histTotal) +
             " != " + std::to_string(b.histTotal);
@@ -226,6 +300,40 @@ firstDifference(const RunSummary &a, const RunSummary &b)
                        out))
         return out;
     return "";
+}
+
+FaultRigCounts
+runFaultRig(std::uint64_t seed, double margin, double ratePerAccess,
+            Cycles cycles, bool forceScalar)
+{
+    MixedStream stream(seed);
+    cpu::DetailedCoreParams params;
+    params.enableFaultInjection = true;
+    params.faultModel.rateAtZeroMargin = ratePerAccess;
+    params.faultMargin = margin;
+    params.faultSeed = seed;
+
+    sim::SystemConfig sc;
+    // A deliberately block-unaligned OS tick, so the blocked/scalar
+    // conservation differential crosses injection boundaries.
+    sc.osTickInterval = Cycles(7'321);
+    sc.enableBlockedExecution = !forceScalar;
+    sc.sampling.mode = sim::SamplingConfig::Mode::Off;
+    sim::System sys(sc);
+    auto owned = std::make_unique<cpu::DetailedCore>(params, stream);
+    const cpu::DetailedCore *core = owned.get();
+    sys.addCore(std::move(owned));
+    sys.run(cycles);
+
+    FaultRigCounts counts;
+    counts.l1dFaults = core->l1d().faults();
+    counts.l2Faults = core->l2().faults();
+    counts.tlbFaults = core->tlb().faults();
+    counts.l1dMisses = core->l1d().misses();
+    counts.l2Misses = core->l2().misses();
+    counts.tlbMisses = core->tlb().misses();
+    counts.instructions = core->counters().instructions();
+    return counts;
 }
 
 namespace {
@@ -874,6 +982,267 @@ checkResultRoundtrip(const FuzzConfig &cfg, std::string *why)
     return true;
 }
 
+// ---------------------------------------------------------------------
+// adaptive_margin_invariants
+// ---------------------------------------------------------------------
+
+bool
+checkAdaptiveMarginInvariants(const FuzzConfig &cfg, std::string *why)
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+
+    // Arm the controller whatever the draw said, dropping the fixed
+    // fail-safe (the two are mutually exclusive margin authorities).
+    FuzzConfig on = cfg;
+    on.controller = true;
+    on.emergencyMargin = 0.0;
+    on.recoveryCost = 0;
+    on.cycles = std::min<Cycles>(cfg.cycles, 30'000);
+
+    sim::System sys(toSystemConfig(on, false));
+    addCores(sys, on);
+    if (on.loop)
+        sys.run(on.cycles);
+    else
+        sys.runUntilFinished(on.cycles);
+
+    const auto *mc = sys.marginController();
+    if (!mc)
+        return fail("controller configured but not constructed");
+
+    // Saturation: every margin ever in force stayed inside the bounds.
+    const double lo = on.ctrlMinMargin;
+    const double hi = on.ctrlMaxMargin;
+    if (!(mc->margin() >= lo && mc->margin() <= hi)) {
+        return fail("final margin " + num(mc->margin()) +
+                    " outside [" + num(lo) + ", " + num(hi) + "]");
+    }
+    if (mc->minMarginSeen() < lo || mc->maxMarginSeen() > hi) {
+        return fail("margin excursion [" + num(mc->minMarginSeen()) +
+                    ", " + num(mc->maxMarginSeen()) +
+                    "] outside bounds [" + num(lo) + ", " + num(hi) +
+                    "]");
+    }
+    if (mc->minMarginSeen() > mc->maxMarginSeen())
+        return fail("min margin seen exceeds max margin seen");
+    const double avg = mc->averageMargin();
+    if (avg < mc->minMarginSeen() - 1e-12 ||
+        avg > mc->maxMarginSeen() + 1e-12) {
+        return fail("average margin " + num(avg) +
+                    " outside seen range [" + num(mc->minMarginSeen()) +
+                    ", " + num(mc->maxMarginSeen()) + "]");
+    }
+
+    // The trajectory is deterministic, controller observables included.
+    const RunSummary s1 = summarizeSystem(sys, on);
+    if (!s1.controllerActive)
+        return fail("summary did not capture the controller");
+    if (const auto d = firstDifference(s1, summarizeRun(on, false));
+        !d.empty()) {
+        return fail("controller trajectory not deterministic: " + d);
+    }
+
+    // Controller-off bit-identity: the ctrl knobs must be inert when
+    // the controller is off.
+    FuzzConfig off = on;
+    off.controller = false;
+    FuzzConfig plain = off;
+    const FuzzConfig defaults;
+    plain.ctrlInitialMargin = defaults.ctrlInitialMargin;
+    plain.ctrlMinMargin = defaults.ctrlMinMargin;
+    plain.ctrlMaxMargin = defaults.ctrlMaxMargin;
+    plain.ctrlWidenStep = defaults.ctrlWidenStep;
+    plain.ctrlRecoveryCost = defaults.ctrlRecoveryCost;
+    if (const auto d = firstDifference(summarizeRun(off, false),
+                                       summarizeRun(plain, false));
+        !d.empty()) {
+        return fail("controller-off run depends on controller params: " +
+                    d);
+    }
+
+    // Zero-gain identity: a controller frozen at margin m (equal
+    // bounds, zero gains, zero widen step) is the fixed-margin
+    // emergency engine at m, bit for bit.
+    {
+        const double m = on.ctrlInitialMargin;
+
+        sim::SystemConfig fixedCfg = toSystemConfig(on, false);
+        fixedCfg.enableMarginController = false;
+        fixedCfg.marginControllerParams = {};
+        fixedCfg.emergencyMargin = m;
+        fixedCfg.recoveryCostCycles = on.ctrlRecoveryCost;
+        sim::System fixedSys(fixedCfg);
+        addCores(fixedSys, on);
+
+        sim::SystemConfig frozenCfg = toSystemConfig(on, false);
+        frozenCfg.marginControllerParams.initialMargin = m;
+        frozenCfg.marginControllerParams.minMargin = m;
+        frozenCfg.marginControllerParams.maxMargin = m;
+        frozenCfg.marginControllerParams.kp = 0.0;
+        frozenCfg.marginControllerParams.ki = 0.0;
+        frozenCfg.marginControllerParams.widenStep = 0.0;
+        sim::System frozenSys(frozenCfg);
+        addCores(frozenSys, on);
+
+        if (on.loop) {
+            fixedSys.run(on.cycles);
+            frozenSys.run(on.cycles);
+        } else {
+            fixedSys.runUntilFinished(on.cycles);
+            frozenSys.runUntilFinished(on.cycles);
+        }
+
+        const auto *fz = frozenSys.marginController();
+        if (!fz || fz->minMarginSeen() != m || fz->maxMarginSeen() != m)
+            return fail("zero-gain controller moved its margin");
+        if (frozenSys.emergencies() != fz->widenings()) {
+            return fail("frozen-controller emergencies " +
+                        std::to_string(frozenSys.emergencies()) +
+                        " != violations " +
+                        std::to_string(fz->widenings()));
+        }
+
+        // Compare engine observables only — the frozen side reports
+        // controller stats the fixed engine has no counterpart for.
+        auto engineOnly = [](RunSummary s) {
+            s.controllerActive = false;
+            s.ctrlFinalMargin = 0.0;
+            s.ctrlAvgMargin = 0.0;
+            s.ctrlMinMargin = 0.0;
+            s.ctrlMaxMargin = 0.0;
+            s.ctrlUpdates = 0;
+            s.ctrlWidenings = 0;
+            return s;
+        };
+        if (const auto d = firstDifference(
+                engineOnly(summarizeSystem(fixedSys, on)),
+                engineOnly(summarizeSystem(frozenSys, on)));
+            !d.empty()) {
+            return fail("zero-gain controller != fixed margin " +
+                        num(m) + ": " + d);
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// fault_injection_determinism
+// ---------------------------------------------------------------------
+
+bool
+checkFaultInjectionDeterminism(const FuzzConfig &cfg, std::string *why)
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+
+    cpu::FaultModelParams fm;
+    fm.rateAtZeroMargin = cfg.faultRate;
+
+    // Exactly zero at the safe margin — not "very unlikely", zero.
+    {
+        cpu::FaultInjector inj(fm, cfg.seed);
+        const std::size_t id = inj.registerStructure("probe");
+        inj.setMargin(fm.safeMargin);
+        if (inj.faultProbability() != 0.0 || inj.threshold() != 0)
+            return fail("nonzero fault probability at the safe margin");
+        for (std::uint64_t i = 0; i < 4096; ++i)
+            if (inj.shouldFault(id, i))
+                return fail("fault fired at the safe margin");
+    }
+
+    // Decision-level invariants at two margins below safe: replay
+    // identity, and exact nesting (every access that faults at the
+    // wider margin also faults at the thinner one).
+    const double thin = std::min(cfg.faultMargin, 0.6 * fm.safeMargin);
+    const double wide = 0.5 * (thin + fm.safeMargin);
+    constexpr std::uint64_t kAccesses = 50'000;
+
+    auto decisions = [&](double margin) {
+        cpu::FaultInjector inj(fm, cfg.seed);
+        const std::size_t id = inj.registerStructure("probe");
+        inj.setMargin(margin);
+        std::vector<char> out(kAccesses);
+        for (std::uint64_t i = 0; i < kAccesses; ++i)
+            out[i] = inj.shouldFault(id, i) ? 1 : 0;
+        return out;
+    };
+    const auto thinSeq = decisions(thin);
+    if (decisions(thin) != thinSeq)
+        return fail("same seed, different fault sequence");
+    const auto wideSeq = decisions(wide);
+    for (std::uint64_t i = 0; i < kAccesses; ++i) {
+        if (wideSeq[i] && !thinSeq[i]) {
+            return fail("fault sets not nested: access " +
+                        std::to_string(i) + " faults at margin " +
+                        num(wide) + " but not at thinner " + num(thin));
+        }
+    }
+
+    // Shard invariance: the pure decision oracle partitioned across
+    // cfg.jobs worker threads reproduces the serial sequence exactly.
+    {
+        cpu::FaultInjector inj(fm, cfg.seed);
+        const std::size_t id = inj.registerStructure("probe");
+        inj.setMargin(thin);
+        const std::uint64_t threshold = inj.threshold();
+        const std::uint64_t seed = cfg.seed;
+
+        constexpr std::size_t kShards = 8;
+        JobsGuard guard;
+        setJobs(static_cast<std::size_t>(cfg.jobs));
+        const auto sharded = parallelMap<std::vector<char>>(
+            kShards, [&](std::size_t s) {
+                std::vector<char> out;
+                for (std::uint64_t i = s; i < kAccesses; i += kShards) {
+                    out.push_back(cpu::FaultInjector::wouldFault(
+                                      seed, id, i, threshold)
+                                      ? 1
+                                      : 0);
+                }
+                return out;
+            });
+        for (std::uint64_t i = 0; i < kAccesses; ++i) {
+            if (sharded[i % kShards][i / kShards] != thinSeq[i]) {
+                return fail("sharded decision differs from serial at "
+                            "access " + std::to_string(i));
+            }
+        }
+    }
+
+    // System level: the fault rig's per-structure fault/miss counters
+    // are conserved between the blocked and per-cycle paths, and
+    // replay exactly.
+    const Cycles cycles = std::min<Cycles>(cfg.cycles, 20'000);
+    const auto blocked =
+        runFaultRig(cfg.seed, thin, cfg.faultRate, cycles, false);
+    const auto scalar =
+        runFaultRig(cfg.seed, thin, cfg.faultRate, cycles, true);
+    if (!(blocked == scalar)) {
+        return fail("fault rig blocked != scalar: faults l1d " +
+                    std::to_string(blocked.l1dFaults) + "/" +
+                    std::to_string(scalar.l1dFaults) + ", l2 " +
+                    std::to_string(blocked.l2Faults) + "/" +
+                    std::to_string(scalar.l2Faults) + ", tlb " +
+                    std::to_string(blocked.tlbFaults) + "/" +
+                    std::to_string(scalar.tlbFaults) +
+                    ", instructions " +
+                    std::to_string(blocked.instructions) + "/" +
+                    std::to_string(scalar.instructions));
+    }
+    if (!(runFaultRig(cfg.seed, thin, cfg.faultRate, cycles, false) ==
+          blocked)) {
+        return fail("fault rig replay differs");
+    }
+    return true;
+}
+
 } // namespace
 
 const std::vector<Property> &
@@ -910,6 +1279,19 @@ propertyRegistry()
         {"result_roundtrip", "common",
          "Result -> JSON -> Result is lossless",
          nullptr, &checkResultRoundtrip},
+        {"adaptive_margin_invariants", "resilience",
+         "controller margin bounded and deterministic; controller-off "
+         "bit-identical to the plain engine; zero gains == fixed "
+         "margin",
+         "ctrlMinMargin 0.01..0.04; ctrlMaxMargin +0.02..0.12; "
+         "ctrlWidenStep 0 or 0.002..0.03; ctrlRecoveryCost 1..2000",
+         &checkAdaptiveMarginInvariants},
+        {"fault_injection_determinism", "cpu",
+         "fault sets exactly nested across margins, zero at the safe "
+         "margin, identical under any shard or blocked/scalar "
+         "partition",
+         "faultMargin 0..0.06; faultRate 1e-4..0.05",
+         &checkFaultInjectionDeterminism},
     };
     return registry;
 }

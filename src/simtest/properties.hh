@@ -26,7 +26,15 @@
  *   - histogram_invariants: mass conservation, block/scalar feed
  *     identity, merge commutativity/associativity, and
  *     concatenation == merge;
- *   - result_roundtrip: Result -> JSON -> Result is lossless.
+ *   - result_roundtrip: Result -> JSON -> Result is lossless;
+ *   - adaptive_margin_invariants: the closed-loop margin controller
+ *     stays within its configured bounds, its trajectory is
+ *     deterministic, disabling it is bit-identical to the plain
+ *     engine regardless of the controller knobs, and a zero-gain
+ *     controller is bit-identical to the fixed-margin fail-safe;
+ *   - fault_injection_determinism: undervolt fault sets are exactly
+ *     nested across margins, exactly zero at the safe margin, and
+ *     identical under any shard or blocked/scalar partition.
  *
  * On failure, check() returns false and fills *why with the first
  * divergent observable. The fuzz driver shrinks the config and writes
@@ -94,6 +102,15 @@ struct RunSummary
     std::vector<std::uint64_t> coreStallCycles;
     std::vector<double> timeline;
     std::vector<double> traceSamples;
+    /** Adaptive margin controller observables (all zero, active
+     *  false, when no controller is configured). */
+    bool controllerActive = false;
+    double ctrlFinalMargin = 0.0;
+    double ctrlAvgMargin = 0.0;
+    double ctrlMinMargin = 0.0;
+    double ctrlMaxMargin = 0.0;
+    std::uint64_t ctrlUpdates = 0;
+    std::uint64_t ctrlWidenings = 0;
 
     bool operator==(const RunSummary &) const = default;
 };
@@ -112,6 +129,37 @@ RunSummary summarizeSystem(sim::System &sys, const FuzzConfig &cfg);
 /** Human-readable first difference between two summaries; empty when
  *  identical. */
 std::string firstDifference(const RunSummary &a, const RunSummary &b);
+
+/**
+ * Observables of one fault-injection rig run (the undervolt scenario
+ * family's primitive, shared by the fuzz property, the golden
+ * experiment, and the serve batch kind): one DetailedCore driven by a
+ * deterministic mixed load/branch stream whose footprint exceeds the
+ * L2 and TLB reach, with the margin-dependent fault model attached to
+ * l1d/l2/tlb.
+ */
+struct FaultRigCounts
+{
+    std::uint64_t l1dFaults = 0;
+    std::uint64_t l2Faults = 0;
+    std::uint64_t tlbFaults = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t tlbMisses = 0;
+    std::uint64_t instructions = 0;
+
+    std::uint64_t totalFaults() const
+    { return l1dFaults + l2Faults + tlbFaults; }
+
+    bool operator==(const FaultRigCounts &) const = default;
+};
+
+/** Run the fault-injection rig for `cycles` at one margin.
+ *  forceScalar drives the per-cycle tick path (the conservation
+ *  differential's reference side). */
+FaultRigCounts runFaultRig(std::uint64_t seed, double margin,
+                           double ratePerAccess, Cycles cycles,
+                           bool forceScalar = false);
 
 } // namespace vsmooth::simtest
 

@@ -49,6 +49,8 @@ experimentRegistry()
         {"ablation_core_scaling", true},
         {"ablation_mitigations", false},
         {"ablation_noise_model", false},
+        {"adaptive_margin", false},
+        {"fault_injection", true},
     };
     return registry;
 }

@@ -94,6 +94,17 @@ echo "== ASan+UBSan fuzz: sampled execution within bounds, 2000 configs =="
       --properties sampled_within_bounds \
       --summary "${FUZZ_DIR}/fuzz-sampled-summary.json"
 
+echo "== ASan+UBSan fuzz: adaptive margin + fault injection, 2000 configs =="
+# Dedicated deep pass over the PR 9 scenario families: the PI margin
+# controller must stay bounded, deterministic, and bit-identical to
+# the fixed-margin engine when frozen, and the fault injector's
+# per-access decisions must be exactly nested across margins and
+# invariant under any shard or blocked/scalar partition, with the
+# sanitizers watching the controller feed and injection hot paths.
+"${FUZZ_DIR}/src/tools/vsmooth" fuzz --seed 1 --iters 2000 \
+      --properties adaptive_margin_invariants,fault_injection_determinism \
+      --summary "${FUZZ_DIR}/fuzz-resilience-summary.json"
+
 echo "== ASan+UBSan serve: cached oracle batch, SIGTERM drain =="
 # Boot the daemon on a Unix socket, submit an oracle-matrix batch
 # twice, and require the second pass to be answered entirely from the
@@ -135,6 +146,33 @@ cmp "${SERVE_DIR}/pass1.txt" "${SERVE_DIR}/pass2.txt"
       --batch "${SERVE_DIR}/batch.json" --results-only \
       > "${SERVE_DIR}/local.txt"
 cmp "${SERVE_DIR}/pass1.txt" "${SERVE_DIR}/local.txt"
+
+# An adaptive-margin scenario through the same daemon: resubmission
+# must be answered from the cache with byte-identical controller
+# metrics (the canonical key reflects the coerced controller-on
+# config, so both submissions hash to the same entry).
+cat > "${SERVE_DIR}/batch-margin.json" <<'EOF'
+[{"kind": "adaptive_margin",
+  "config": {"seed": 5, "cycles": 20000, "coreBench": [1, 26],
+             "decapFraction": 0.12,
+             "ctrlInitialMargin": 0.06, "ctrlMinMargin": 0.03,
+             "ctrlMaxMargin": 0.1, "ctrlRecoveryCost": 600}}]
+EOF
+"${FUZZ_DIR}/src/tools/vsmooth" client --socket "${SERVE_DIR}/s.sock" \
+      --batch "${SERVE_DIR}/batch-margin.json" --results-only \
+      > "${SERVE_DIR}/margin1.txt"
+"${FUZZ_DIR}/src/tools/vsmooth" client --socket "${SERVE_DIR}/s.sock" \
+      --batch "${SERVE_DIR}/batch-margin.json" \
+      > "${SERVE_DIR}/margin2-full.txt"
+if grep -q '"cache": "miss"' "${SERVE_DIR}/margin2-full.txt"; then
+    echo "error: cache miss on adaptive_margin resubmission" >&2
+    exit 1
+fi
+[ "$(grep -c '"cache": "hit"' "${SERVE_DIR}/margin2-full.txt")" -eq 1 ]
+"${FUZZ_DIR}/src/tools/vsmooth" client --socket "${SERVE_DIR}/s.sock" \
+      --batch "${SERVE_DIR}/batch-margin.json" --results-only \
+      > "${SERVE_DIR}/margin2.txt"
+cmp "${SERVE_DIR}/margin1.txt" "${SERVE_DIR}/margin2.txt"
 kill -TERM "${SERVE_PID}"
 wait "${SERVE_PID}"
 
