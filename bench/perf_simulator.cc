@@ -167,12 +167,13 @@ BM_DspPdnStepBlockRipple(benchmark::State &state)
 }
 BENCHMARK(BM_DspPdnStepBlockRipple);
 
-/** The fused cross-lane kernel at the active dispatch level: 8 lanes
- *  x 2 cores x 256 cycles per call. Items are lane-cycles. */
+/** The fused cross-lane kernel at the active dispatch level: Arg
+ *  lanes x 2 cores x 256 cycles per call (pin VSMOOTH_SIMD to
+ *  compare kernel levels at a fixed width). Items are lane-cycles. */
 void
-BM_DspLaneStep8(benchmark::State &state)
+BM_DspLaneStep(benchmark::State &state)
 {
-    constexpr std::size_t kLanes = 8;
+    const auto kLanes = static_cast<std::size_t>(state.range(0));
     constexpr std::size_t kCores = 2;
     std::vector<double> steady(kCores * kLanes * kDspBlock);
     std::vector<double> total(kLanes * kDspBlock);
@@ -230,7 +231,7 @@ BM_DspLaneStep8(benchmark::State &state)
                             static_cast<std::int64_t>(kLanes) *
                             kDspBlock);
 }
-BENCHMARK(BM_DspLaneStep8);
+BENCHMARK(BM_DspLaneStep)->Arg(8)->Arg(16);
 
 void
 BM_FastCoreTick(benchmark::State &state)
@@ -378,8 +379,9 @@ BENCHMARK(BM_OracleMatrixBuild8)
  * Population-style sweep of single-benchmark runs drained through the
  * scenario-lane engine. Arg = lane width (1 = degenerate single-lane
  * groups, i.e. the pre-lane execution path); items are simulated
- * cycles, and the Arg(1) vs Arg(4)/Arg(8) ratio is the SIMD speedup
- * BENCH_pr5.json records.
+ * cycles, and the Arg(1) vs widest-lane ratio is the SIMD speedup
+ * BENCH_pr5.json records (Arg(16) runs the AVX-512 backend where the
+ * host supports it, BENCH_pr10.json's headline row).
  */
 void
 BM_PopulationLaned(benchmark::State &state)
@@ -408,7 +410,7 @@ BM_PopulationLaned(benchmark::State &state)
     setJobs(0);
 }
 BENCHMARK(BM_PopulationLaned)
-    ->Arg(1)->Arg(4)->Arg(8)
+    ->Arg(1)->Arg(4)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
@@ -437,7 +439,7 @@ BM_OracleMatrixLaned(benchmark::State &state)
     setJobs(0);
 }
 BENCHMARK(BM_OracleMatrixLaned)
-    ->Arg(1)->Arg(4)->Arg(8)
+    ->Arg(1)->Arg(4)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

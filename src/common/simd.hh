@@ -13,13 +13,13 @@
  * results are bit-identical to a solo run at any lane width.
  *
  * Dispatch picks the widest level the host supports at startup;
- * VSMOOTH_SIMD=scalar|sse2|avx2 overrides it (unknown values are
- * fatal, listing the accepted set), and setActiveLevel() is the
+ * VSMOOTH_SIMD=scalar|sse2|avx2|avx512 overrides it (unknown values
+ * are fatal, listing the accepted set), and setActiveLevel() is the
  * equivalent test hook.
  *
- * This header is included from a translation unit compiled with
- * -mavx2: keep it free of inline function bodies and intrinsics so no
- * AVX-encoded comdat can leak into baseline objects.
+ * This header is included from translation units compiled with -mavx2
+ * and -mavx512f: keep it free of inline function bodies and
+ * intrinsics so no AVX-encoded comdat can leak into baseline objects.
  */
 
 #ifndef VSMOOTH_COMMON_SIMD_HH
@@ -37,6 +37,7 @@ enum class IsaLevel : int
     Scalar = 0,
     Sse2 = 1,
     Avx2 = 2,
+    Avx512 = 3,
 };
 
 /** Lowercase name, as accepted by VSMOOTH_SIMD. */
@@ -56,22 +57,23 @@ IsaLevel activeLevel();
 /** Test hook: force a level (must not exceed the host's). */
 void setActiveLevel(IsaLevel level);
 
-/** Doubles per vector register at a level (1 / 2 / 4). */
+/** Doubles per vector register at a level (1 / 2 / 4 / 8). */
 std::size_t vectorWidth(IsaLevel level);
 
 /**
  * Default scenario-lane count for LaneGroup: two vectors in flight at
- * the active level (8 for AVX2, 4 for SSE2), and 4 for scalar — the
- * interleaved scalar chains still overlap in the out-of-order window.
- * VSMOOTH_LANES=1..8 overrides (fatal outside that range).
+ * the active level (16 for AVX-512, 8 for AVX2, 4 for SSE2), and 4
+ * for scalar — the interleaved scalar chains still overlap in the
+ * out-of-order window. VSMOOTH_LANES=1..16 overrides (fatal outside
+ * that range).
  */
 std::size_t defaultLaneWidth();
 
-/** Compact stamp for Result metadata, e.g. "avx2x8". */
+/** Compact stamp for Result metadata, e.g. "avx512x16". */
 std::string description();
 
 /** Hard bounds the kernel argument blocks are sized for. */
-inline constexpr std::size_t kMaxLanes = 8;
+inline constexpr std::size_t kMaxLanes = 16;
 inline constexpr std::size_t kMaxLaneCores = 8;
 
 /**

@@ -26,6 +26,8 @@ namespace {
 struct VecAvx2
 {
     static constexpr std::size_t width = 4;
+    /** Masks are all-ones/all-zeros vectors, fed to blendv. */
+    using Mask = VecAvx2;
 
     __m256d v;
 

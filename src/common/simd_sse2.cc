@@ -19,6 +19,8 @@ namespace {
 struct VecSse2
 {
     static constexpr std::size_t width = 2;
+    /** Masks are all-ones/all-zeros vectors, fed to and/andnot. */
+    using Mask = VecSse2;
 
     __m128d v;
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/simd.hh"
 #include "workload/spec_suite.hh"
 
 namespace vsmooth::simtest {
@@ -117,6 +118,14 @@ FuzzConfig::valid(std::string *why) const
         return fail("faultRate outside [0, 1]");
     if (jobs < 1 || jobs > kMaxJobs)
         return fail("jobs outside [1, " + std::to_string(kMaxJobs) + "]");
+    if (laneWidth > simd::kMaxLanes)
+        return fail("laneWidth outside [0, " +
+                    std::to_string(simd::kMaxLanes) + "]");
+    if (simdLevel != "" && simdLevel != "scalar" &&
+        simdLevel != "sse2" && simdLevel != "avx2" &&
+        simdLevel != "avx512")
+        return fail("simdLevel must be one of \"\", scalar, sse2, "
+                    "avx2, avx512");
     if (samplingWindow < 1 || samplingWindow > 64)
         return fail("samplingWindow outside [1, 64]");
     if (samplingStable < 1 || samplingStable > 16)
@@ -185,6 +194,10 @@ FuzzConfig::toJson(bool omitDefaults) const
     num("faultRate", faultRate, def.faultRate);
     num("jobs", static_cast<double>(jobs),
         static_cast<double>(def.jobs));
+    num("laneWidth", static_cast<double>(laneWidth),
+        static_cast<double>(def.laneWidth));
+    if (!omitDefaults || simdLevel != def.simdLevel)
+        j.set("simdLevel", Json(simdLevel));
     num("samplingWindow", static_cast<double>(samplingWindow),
         static_cast<double>(def.samplingWindow));
     num("samplingStable", static_cast<double>(samplingStable),
@@ -286,6 +299,10 @@ FuzzConfig::fromJson(const Json &j, FuzzConfig &out, std::string *error)
             out.faultRate = v.asNumber();
         } else if (key == "jobs" && needNumber()) {
             out.jobs = static_cast<std::uint64_t>(v.asNumber());
+        } else if (key == "laneWidth" && needNumber()) {
+            out.laneWidth = static_cast<std::uint32_t>(v.asNumber());
+        } else if (key == "simdLevel" && v.isString()) {
+            out.simdLevel = v.asString();
         } else if (key == "samplingWindow" && needNumber()) {
             out.samplingWindow =
                 static_cast<std::uint32_t>(v.asNumber());
@@ -410,6 +427,28 @@ fuzzConfigGen()
             : logUniformGen(1e-4, 0.05)(rng);
 
         cfg.jobs = rng.uniformInt(1, 6);
+
+        // Scenario-lane dimensions: half the draws keep the
+        // seed-derived width, the rest pin 1..kMaxLanes so the
+        // 9..16-lane repack and retirement paths see direct traffic.
+        // SIMD level candidates are host-gated (generation must never
+        // draw a config that is fatal to check here); "" — the
+        // ambient active level — keeps most weight.
+        cfg.laneWidth = rng.bernoulli(0.5)
+            ? 0
+            : static_cast<std::uint32_t>(
+                  rng.uniformInt(1, simd::kMaxLanes));
+        {
+            std::vector<std::string> levels{"", "", "", "scalar"};
+            const auto host = static_cast<int>(simd::detectHostLevel());
+            if (host >= static_cast<int>(simd::IsaLevel::Sse2))
+                levels.push_back("sse2");
+            if (host >= static_cast<int>(simd::IsaLevel::Avx2))
+                levels.push_back("avx2");
+            if (host >= static_cast<int>(simd::IsaLevel::Avx512))
+                levels.push_back("avx512");
+            cfg.simdLevel = elementGen<std::string>(levels)(rng);
+        }
 
         // Sampled-execution knobs: small windows and low stability
         // thresholds make skips likely inside the short fuzz runs;

@@ -198,6 +198,16 @@ struct FuzzConfig
     /** Worker threads for the parallel==serial property. */
     std::uint64_t jobs = 2;
 
+    // --- Scenario-lane engine (laned_vs_scalar) --------------------------
+    /** Lane width for the laned property, 1..simd::kMaxLanes
+     *  (0 = derive from the seed, the historical behaviour). */
+    std::uint32_t laneWidth = 0;
+    /** SIMD level pinned while checking: "", "scalar", "sse2",
+     *  "avx2", or "avx512" ("" = the ambient active level). Clamped
+     *  to the host's maximum at check time, so repro files written on
+     *  a wide host still replay — at the narrower level — anywhere. */
+    std::string simdLevel;
+
     // --- Sampled execution (sampled_within_bounds) ----------------------
     /** Blocks per stationarity-detector window. */
     std::uint32_t samplingWindow = 8;

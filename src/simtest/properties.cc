@@ -431,9 +431,33 @@ checkLanedVsScalar(const FuzzConfig &cfg, std::string *why)
     // lane against solo runs. Odd lanes flip the loop flag, so a
     // finite-schedule config mixes retiring and looping lanes (and
     // vice versa), exercising mid-sweep retirement and repacking. The
-    // lane width comes from the seed, never the environment, keeping
-    // shrunk repro files self-contained.
-    const std::size_t lanes = 1 + cfg.seed % simd::kMaxLanes;
+    // lane width comes from the config (laneWidth, or the seed when
+    // unset), never the environment, keeping shrunk repro files
+    // self-contained; simdLevel pins the kernel dispatch for the
+    // check, clamped to the host's maximum so a repro written on a
+    // wide host still replays — at the narrower level — anywhere.
+    const std::size_t lanes = cfg.laneWidth != 0
+        ? cfg.laneWidth
+        : 1 + cfg.seed % simd::kMaxLanes;
+
+    struct LevelGuard
+    {
+        simd::IsaLevel prev = simd::activeLevel();
+        ~LevelGuard() { simd::setActiveLevel(prev); }
+    } levelGuard;
+    if (!cfg.simdLevel.empty()) {
+        simd::IsaLevel wanted = simd::IsaLevel::Scalar;
+        if (cfg.simdLevel == "sse2")
+            wanted = simd::IsaLevel::Sse2;
+        else if (cfg.simdLevel == "avx2")
+            wanted = simd::IsaLevel::Avx2;
+        else if (cfg.simdLevel == "avx512")
+            wanted = simd::IsaLevel::Avx512;
+        const simd::IsaLevel host = simd::detectHostLevel();
+        simd::setActiveLevel(
+            static_cast<int>(wanted) <= static_cast<int>(host) ? wanted
+                                                               : host);
+    }
     auto subConfig = [&](std::size_t i) {
         FuzzConfig c = cfg;
         c.seed = cfg.seed + 257 * i;
@@ -1266,8 +1290,10 @@ propertyRegistry()
          "jobs 1..6", &checkParallelVsSerial},
         {"laned_vs_scalar", "sim/sweep",
          "scenario-lane engine bit-identical to solo runs at any "
-         "lane width",
-         nullptr, &checkLanedVsScalar},
+         "lane width and SIMD level",
+         "laneWidth 0 (seed-derived) or 1..16; simdLevel ambient or "
+         "host-clamped scalar/sse2/avx2/avx512",
+         &checkLanedVsScalar},
         {"pdn_linearity", "pdn",
          "PDN superposition/scaling, exact DC gain, bounded step "
          "response",

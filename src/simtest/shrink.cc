@@ -136,6 +136,21 @@ shrinkMoves()
             c.jobs = 2;
             return true;
         },
+        // Lane dimensions back to their defaults (seed-derived width,
+        // ambient SIMD level) — if the failure only reproduces at a
+        // pinned width or level, the repro keeps them.
+        [](FuzzConfig &c) {
+            if (c.laneWidth == 0)
+                return false;
+            c.laneWidth = 0;
+            return true;
+        },
+        [](FuzzConfig &c) {
+            if (c.simdLevel.empty())
+                return false;
+            c.simdLevel.clear();
+            return true;
+        },
         [](FuzzConfig &c) {
             if (c.seed == 1)
                 return false;

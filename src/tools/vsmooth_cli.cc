@@ -131,7 +131,8 @@ usage()
            "fuzz options: --seed S --iters N --properties a,b,c"
            " --repro FILE\n"
            "              --corpus DIR --repro-out F --summary FILE"
-           " --list --verbose\n"
+           " --lanes K\n"
+           "              --list --verbose\n"
            "serve options: --socket PATH | --port N --workers N\n"
            "               --cache-bytes N --queue N --ready-file F\n"
            "client options: --socket PATH | --port N --batch FILE"
@@ -429,6 +430,12 @@ cmdFuzz(int argc, char **argv)
             opt.reproOut = next();
         } else if (arg == "--summary") {
             opt.summaryFile = next();
+        } else if (arg == "--lanes") {
+            const std::uint64_t v = parseU64(next(), "--lanes");
+            if (v < 1 || v > simd::kMaxLanes) {
+                fatal("--lanes must be in [1, %zu]", simd::kMaxLanes);
+            }
+            opt.forceLanes = static_cast<std::uint32_t>(v);
         } else if (arg == "--list") {
             opt.listProperties = true;
         } else if (arg == "--verbose") {

@@ -463,8 +463,11 @@ hostLevels()
     if (static_cast<int>(simd::detectHostLevel()) >=
         static_cast<int>(simd::IsaLevel::Sse2))
         levels.push_back(simd::IsaLevel::Sse2);
-    if (simd::detectHostLevel() == simd::IsaLevel::Avx2)
+    if (static_cast<int>(simd::detectHostLevel()) >=
+        static_cast<int>(simd::IsaLevel::Avx2))
         levels.push_back(simd::IsaLevel::Avx2);
+    if (simd::detectHostLevel() == simd::IsaLevel::Avx512)
+        levels.push_back(simd::IsaLevel::Avx512);
     return levels;
 }
 
@@ -608,8 +611,11 @@ TEST(Dsp, LaneStepKernelMatchesScalarPrimitivesAtEveryLevel)
             simd::kernelsFor(level).laneStep;
         if (!step)
             continue;
+        // 9 leaves seven pad lanes in the second 8-wide vector; 16
+        // fills the widened LaneGroup ceiling exactly.
         for (const std::size_t lanes :
-             {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+             {std::size_t{1}, std::size_t{4}, std::size_t{8},
+              std::size_t{9}, std::size_t{16}}) {
             SCOPED_TRACE(std::string("level ") +
                          simd::levelName(level) + " lanes " +
                          std::to_string(lanes));
@@ -640,6 +646,63 @@ TEST(Dsp, LaneStepKernelMatchesScalarPrimitivesAtEveryLevel)
                     << "lane " << l;
                 EXPECT_EQ(fx.args.tTime[l], ref.tTime[l])
                     << "lane " << l;
+            }
+        }
+    }
+}
+
+TEST(Dsp, BlockKernelsMatchScalarReferenceAtEveryLevel)
+{
+    // The steady-current and bin-classification kernels registered
+    // per level (AVX2's 4-wide, AVX-512's 8-wide) must reproduce the
+    // scalar arithmetic bit-for-bit on every element, including the
+    // clamp edges, out-of-range sentinels, and ragged tails.
+    for (const simd::IsaLevel level : hostLevels()) {
+        const simd::KernelSet &ks = simd::kernelsFor(level);
+        if (!ks.steady && !ks.binIndex)
+            continue;
+        SCOPED_TRACE(std::string("level ") + simd::levelName(level));
+        Stream rng(88);
+        for (const std::size_t n : kBlockSizes) {
+            if (ks.steady) {
+                auto in = rng.block(n, -0.5, 3.0);
+                if (n > 2)
+                    in[n / 2] = -0.0;
+                std::vector<double> out(n);
+                ks.steady(3.0, 1.5, 4.2, in.data(), out.data(), n);
+                for (std::size_t j = 0; j < n; ++j) {
+                    double a = in[j];
+                    a = a < 0.0 ? 0.0 : a;
+                    a = 2.5 < a ? 2.5 : a;
+                    const double w = 1.0 < a ? 1.0 : a;
+                    EXPECT_EQ(out[j],
+                              3.0 + 1.5 * (0.25 + 0.75 * w) + 4.2 * a)
+                        << "sample " << j;
+                }
+            }
+            if (ks.binIndex) {
+                // Range chosen so the stream strays below lo and at
+                // or above hi, exercising both sentinels.
+                const double lo = 0.0, hi = 1.0;
+                const double invWidth = 32.0; // 32 bins
+                const std::uint32_t last = 31;
+                const auto xs = rng.block(n, -0.25, 1.25);
+                std::vector<std::uint32_t> idx(n, 7u);
+                ks.binIndex(xs.data(), n, lo, hi, invWidth, last,
+                            idx.data());
+                for (std::size_t j = 0; j < n; ++j) {
+                    std::uint32_t want;
+                    if (xs[j] < lo) {
+                        want = simd::kBinUnderflow;
+                    } else if (xs[j] >= hi) {
+                        want = simd::kBinOverflow;
+                    } else {
+                        const auto raw = static_cast<std::uint32_t>(
+                            (xs[j] - lo) * invWidth);
+                        want = raw < last ? raw : last;
+                    }
+                    EXPECT_EQ(idx[j], want) << "sample " << j;
+                }
             }
         }
     }

@@ -171,14 +171,14 @@ runDifferential(const std::vector<Scenario> &scenarios,
 /** A population with non-uniform core counts, run lengths, OS-tick
  *  intervals, and sinks — the general fusion + retirement case. */
 std::vector<Scenario>
-mixedPopulation()
+mixedPopulation(int count = 7)
 {
     std::vector<Scenario> out;
-    for (int i = 0; i < 7; ++i) {
+    for (int i = 0; i < count; ++i) {
         Scenario sc;
         sc.seed = 500 + 31ULL * static_cast<std::uint64_t>(i);
         sc.nCores = (i % 3 == 0) ? 1 : 2;
-        sc.cycles = 12'000 + 1'731 * static_cast<Cycles>(i);
+        sc.cycles = 12'000 + 1'731 * static_cast<Cycles>(i % 8);
         sc.cfg.osTickInterval = (i % 2 == 0) ? 997 : 1'543;
         out.push_back(sc);
     }
@@ -190,12 +190,13 @@ std::vector<simd::IsaLevel>
 hostLevels()
 {
     std::vector<simd::IsaLevel> levels{simd::IsaLevel::Scalar};
-    if (static_cast<int>(simd::detectHostLevel()) >=
-        static_cast<int>(simd::IsaLevel::Sse2)) {
+    const int host = static_cast<int>(simd::detectHostLevel());
+    if (host >= static_cast<int>(simd::IsaLevel::Sse2))
         levels.push_back(simd::IsaLevel::Sse2);
-    }
-    if (simd::detectHostLevel() == simd::IsaLevel::Avx2)
+    if (host >= static_cast<int>(simd::IsaLevel::Avx2))
         levels.push_back(simd::IsaLevel::Avx2);
+    if (host >= static_cast<int>(simd::IsaLevel::Avx512))
+        levels.push_back(simd::IsaLevel::Avx512);
     return levels;
 }
 
@@ -216,7 +217,8 @@ TEST(LaneGroup, AllWidthsAllLevelsBitIdentical)
     const auto scenarios = mixedPopulation();
     for (const simd::IsaLevel level : hostLevels()) {
         simd::setActiveLevel(level);
-        for (const std::size_t width : {1u, 2u, 3u, 4u, 5u, 8u}) {
+        for (const std::size_t width : {1u, 2u, 3u, 4u, 5u, 8u, 11u,
+                                        16u}) {
             SCOPED_TRACE(std::string("level ") +
                          simd::levelName(level));
             runDifferential(scenarios, width);
@@ -229,6 +231,34 @@ TEST(LaneGroup, PopulationNotDivisibleByWidth)
     // 7 plans through 4 lanes: a full group, retirements, and a final
     // partial group that exercises the padded kernel columns.
     runDifferential(mixedPopulation(), 4);
+}
+
+TEST(LaneGroup, WidePopulationNotDivisibleBySixteen)
+{
+    // 21 plans through 16 lanes: one full 16-wide group and a final
+    // 5-lane partial one, so the widest configuration exercises both
+    // the fully-packed and the heavily-padded kernel columns.
+    runDifferential(mixedPopulation(21), 16);
+}
+
+TEST(LaneGroup, EarlyRetirementPastLaneEight)
+{
+    // 12 lanes of interleaved finite and looping schedules: finite
+    // lanes at indices beyond the old 8-lane ceiling retire at
+    // staggered cycles, so repacking shifts lanes 9..12 down through
+    // positions no 8-lane group could ever populate.
+    std::vector<Scenario> scenarios;
+    for (int i = 0; i < 14; ++i) {
+        Scenario sc;
+        sc.seed = 1'300 + 19ULL * static_cast<std::uint64_t>(i);
+        sc.loop = (i % 3 == 1);
+        sc.untilFinished = true;
+        sc.cycles = 40'000;
+        sc.padTo = (i % 4 == 0) ? 45'000 : 0;
+        sc.cfg.osTickInterval = 2'111;
+        scenarios.push_back(sc);
+    }
+    runDifferential(scenarios, 12);
 }
 
 TEST(LaneGroup, WidthOneDegeneratesToBlockedPath)
@@ -333,6 +363,8 @@ TEST(LaneGroup, DefaultWidthHonoursLanesEnv)
     EXPECT_EQ(LaneGroup().width(), 3u);
     ASSERT_EQ(setenv("VSMOOTH_LANES", "8", 1), 0);
     EXPECT_EQ(LaneGroup().width(), 8u);
+    ASSERT_EQ(setenv("VSMOOTH_LANES", "16", 1), 0);
+    EXPECT_EQ(LaneGroup().width(), 16u);
     ASSERT_EQ(unsetenv("VSMOOTH_LANES"), 0);
     EXPECT_GE(LaneGroup().width(), 4u);
 }
@@ -364,9 +396,10 @@ runCli(const std::string &env, const std::string &args)
 TEST(SimdOverride, UnknownLevelIsFatalAndListsAccepted)
 {
     const CliResult r =
-        runCli("VSMOOTH_SIMD=avx512", "fuzz --iters 1 --seed 1");
+        runCli("VSMOOTH_SIMD=avx999", "fuzz --iters 1 --seed 1");
     EXPECT_NE(r.exitCode, 0) << r.output;
-    EXPECT_NE(r.output.find("scalar, sse2, avx2"), std::string::npos)
+    EXPECT_NE(r.output.find("scalar, sse2, avx2, avx512"),
+              std::string::npos)
         << r.output;
 }
 
@@ -378,10 +411,30 @@ TEST(SimdOverride, KnownLevelRoundTrips)
     EXPECT_NE(r.output.find("scalar"), std::string::npos) << r.output;
 }
 
+TEST(SimdOverride, Avx512RoundTripsOrIsFatalByHost)
+{
+    // A valid level name must round-trip where the host supports it
+    // and die with the host's maximum where it does not — the same
+    // spelled-out override behaves differently only by host capability,
+    // never by accepted-set membership.
+    const CliResult r =
+        runCli("VSMOOTH_SIMD=avx512", "fuzz --iters 5 --seed 1");
+    if (static_cast<int>(simd::detectHostLevel()) >=
+        static_cast<int>(simd::IsaLevel::Avx512)) {
+        EXPECT_EQ(r.exitCode, 0) << r.output;
+        EXPECT_NE(r.output.find("avx512"), std::string::npos)
+            << r.output;
+    } else {
+        EXPECT_NE(r.exitCode, 0) << r.output;
+        EXPECT_NE(r.output.find("host maximum"), std::string::npos)
+            << r.output;
+    }
+}
+
 TEST(SimdOverride, BadLaneCountIsFatal)
 {
     const CliResult r =
-        runCli("VSMOOTH_LANES=9", "fuzz --iters 1 --seed 1");
+        runCli("VSMOOTH_LANES=17", "fuzz --iters 1 --seed 1");
     EXPECT_NE(r.exitCode, 0) << r.output;
     EXPECT_NE(r.output.find("VSMOOTH_LANES"), std::string::npos)
         << r.output;

@@ -22,6 +22,22 @@
 #     throughput of each block primitive and the fused cross-lane
 #     step) plus BM_PopulationLaned, whose laned sweep rides on the
 #     same kernels end to end.
+#   BENCH_pr10*.json — BM_PopulationLaned / BM_OracleMatrixLaned at
+#     lane widths 1/4/8/16 on one worker thread plus the isolated
+#     BM_DspLaneStep kernel rows (8 and 16 lanes at the ambient
+#     dispatch level, AVX-512 where the host has it; pin
+#     VSMOOTH_SIMD=avx2 manually to measure the kernel-level backend
+#     ratio at a fixed width).
+#
+# Numbers are only meaningful from an optimized simulator: the script
+# refuses to run against a build tree whose cached CMAKE_BUILD_TYPE is
+# not Release or RelWithDebInfo, configures fresh trees as Release,
+# and stamps the verified build type into the artifact's context as
+# "cmake_build_type". (The "library_build_type": "debug" field that
+# made BENCH_pr8.json look mis-recorded describes the *distro-built
+# google-benchmark harness library* — packaged without NDEBUG — not
+# the simulator under test; the explicit stamp removes the
+# ambiguity.)
 #
 # Shared CI runners are noisy (run-to-run swings of 15-20%), so each
 # benchmark runs several repetitions with random interleaving and the
@@ -35,13 +51,34 @@ OUT_JSON="${2:-BENCH_pr3.json}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 case "$(basename "${OUT_JSON}")" in
-    BENCH_pr5*) FILTER='Laned' ;;
-    BENCH_pr6*) FILTER='BM_PopulationSampled' ;;
-    BENCH_pr8*) FILTER='BM_Dsp|BM_PopulationLaned|BM_SystemTickBlocked' ;;
-    *)          FILTER='BM_SystemTick' ;;
+    BENCH_pr5*)  FILTER='Laned' ;;
+    BENCH_pr6*)  FILTER='BM_PopulationSampled' ;;
+    BENCH_pr8*)  FILTER='BM_Dsp|BM_PopulationLaned|BM_SystemTickBlocked' ;;
+    BENCH_pr10*) FILTER='Laned|BM_DspLaneStep' ;;
+    *)           FILTER='BM_SystemTick' ;;
 esac
 
-cmake -B "${BUILD_DIR}" -S . >/dev/null
+# Configure fresh trees as Release; verify existing trees were cached
+# with an optimized build type before running anything against them.
+if [ -f "${BUILD_DIR}/CMakeCache.txt" ]; then
+    BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+                  "${BUILD_DIR}/CMakeCache.txt")"
+    case "${BUILD_TYPE}" in
+        Release|RelWithDebInfo) ;;
+        *)
+            echo "error: ${BUILD_DIR} is configured as" \
+                 "'${BUILD_TYPE:-<empty>}'; refusing to record" \
+                 "benchmarks from a non-optimized tree. Reconfigure" \
+                 "with -DCMAKE_BUILD_TYPE=Release (or point bench.sh" \
+                 "at a release build dir)." >&2
+            exit 1
+            ;;
+    esac
+    cmake -B "${BUILD_DIR}" -S . >/dev/null
+else
+    BUILD_TYPE=Release
+    cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
 cmake --build "${BUILD_DIR}" -j "${JOBS}" --target perf_simulator
 
 "${BUILD_DIR}/bench/perf_simulator" \
@@ -50,8 +87,23 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target perf_simulator
     --benchmark_repetitions=5 \
     --benchmark_enable_random_interleaving=true \
     --benchmark_report_aggregates_only=true \
+    --benchmark_context=cmake_build_type="${BUILD_TYPE}" \
     --benchmark_out="${OUT_JSON}" \
     --benchmark_out_format=json
+
+# Belt-and-braces: refuse to keep an artifact that does not carry an
+# optimized-build stamp (a stale binary from a since-reconfigured
+# tree would slip past the cache check above).
+python3 - "${OUT_JSON}" <<'EOF' || { rm -f "${OUT_JSON}"; exit 1; }
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+build = data.get("context", {}).get("cmake_build_type", "unknown")
+if build not in ("Release", "RelWithDebInfo"):
+    print("error: artifact stamped cmake_build_type=" + build
+          + "; discarding " + sys.argv[1], file=sys.stderr)
+    sys.exit(1)
+EOF
 
 python3 - "${OUT_JSON}" <<'EOF'
 import json, sys
@@ -69,11 +121,16 @@ for bench in ("BM_PopulationLaned", "BM_OracleMatrixLaned"):
     one = rates.get(f"{bench}/1/real_time_median")
     if not one:
         continue
-    for width in (4, 8):
+    for width in (4, 8, 16):
         wide = rates.get(f"{bench}/{width}/real_time_median")
         if wide:
             print(f"{bench}: lanes=1 -> lanes={width} "
                   f"speedup {wide / one:.2f}x (median of 5)")
+    eight = rates.get(f"{bench}/8/real_time_median")
+    sixteen = rates.get(f"{bench}/16/real_time_median")
+    if eight and sixteen:
+        print(f"{bench}: lanes=8 -> lanes=16 "
+              f"speedup {sixteen / eight:.2f}x (median of 5)")
 off = rates.get("BM_PopulationSampled/0/real_time_median")
 auto_ = rates.get("BM_PopulationSampled/1/real_time_median")
 if off and auto_:

@@ -84,6 +84,23 @@ echo "== ASan+UBSan fuzz: scenario-lane vs solo equivalence, 2000 configs =="
       --properties laned_vs_scalar \
       --summary "${FUZZ_DIR}/fuzz-laned-summary.json"
 
+# Host-gated widest-lane pass: on AVX-512 machines, pin every config
+# to the full 16-lane width so the 8-wide mask-register kernels, the
+# 8x8 register transpose, and the pad-lane tail all run under the
+# sanitizers on every iteration (seed-derived widths only reach 16 on
+# a fraction of draws). Skipped silently on narrower hosts, where the
+# avx512 dispatch level is unreachable anyway.
+if grep -q avx512f /proc/cpuinfo 2>/dev/null &&
+   grep -q avx512dq /proc/cpuinfo 2>/dev/null; then
+    echo "== ASan+UBSan fuzz: laned at 16 lanes (AVX-512 host), 2000 configs =="
+    VSMOOTH_SIMD=avx512 "${FUZZ_DIR}/src/tools/vsmooth" fuzz \
+          --seed 1 --iters 2000 --lanes 16 \
+          --properties laned_vs_scalar \
+          --summary "${FUZZ_DIR}/fuzz-laned16-summary.json"
+else
+    echo "== skip: AVX-512 16-lane fuzz (host lacks avx512f+avx512dq) =="
+fi
+
 echo "== ASan+UBSan fuzz: sampled execution within bounds, 2000 configs =="
 # Dedicated deep pass over the sampled_within_bounds property: every
 # random config runs exactly and phase-sampled, and each extrapolated
@@ -181,6 +198,9 @@ tools/bench.sh "${BUILD_DIR}" "${BUILD_DIR}/BENCH_pr6.json"
 
 echo "== bench: dsp primitive-layer throughput =="
 tools/bench.sh "${BUILD_DIR}" "${BUILD_DIR}/BENCH_pr8.json"
+
+echo "== bench: AVX-512 scenario-lane backend throughput =="
+tools/bench.sh "${BUILD_DIR}" "${BUILD_DIR}/BENCH_pr10.json"
 
 echo "== work tree must be clean after a full build+test cycle =="
 # Everything CI produces belongs in the ignored build*/ trees; a
